@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the pre-processing algorithms: the landmark
+//! metric, GREEDY k-center, and GREEDYSEARCH.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xar_bench::BenchCity;
+use xar_discretize::greedy_search::{cluster_with_k, greedy_search};
+use xar_discretize::kcenter::greedy_k_center;
+use xar_discretize::landmarks::filter_landmarks;
+use xar_discretize::LandmarkMetric;
+
+fn bench_clustering(c: &mut Criterion) {
+    let city = BenchCity::sized(40, 40);
+    let landmarks = filter_landmarks(&city.graph, &city.pois, 220.0);
+    let metric = LandmarkMetric::compute(&city.graph, &landmarks);
+    let n = landmarks.len();
+
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+
+    group.bench_function(format!("landmark_metric_n{n}"), |b| {
+        b.iter(|| std::hint::black_box(LandmarkMetric::compute(&city.graph, &landmarks).len()))
+    });
+
+    group.bench_function(format!("greedy_kcenter_k32_n{n}"), |b| {
+        b.iter(|| std::hint::black_box(greedy_k_center(&metric, 32).radius))
+    });
+
+    group.bench_function(format!("greedy_search_delta250_n{n}"), |b| {
+        b.iter(|| std::hint::black_box(greedy_search(&metric, 250.0).clustering.k))
+    });
+
+    group.bench_function(format!("cluster_with_k64_n{n}"), |b| {
+        b.iter(|| std::hint::black_box(cluster_with_k(&metric, 64).radius))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 3a — quality of matching rides.
+//!
+//! The paper's guarantee (§V): "the detour limit of a ride will be
+//! exceeded by at most a 4ε additive factor, while we show later
+//! empirically, that for 98% of the cases, the detour limit is exceeded
+//! by at most an additive ε distance". We run the §X.A.2 simulation
+//! over the synthetic taxi day and print:
+//!
+//! 1. the paper's quantity — realised detour in excess of the ride's
+//!    remaining detour *limit* at booking time;
+//! 2. a stricter internal measure — realised detour in excess of the
+//!    search-time *estimate* (the raw discretization error).
+
+use xar_bench::{header, row, scale_arg, BenchCity};
+use xar_workload::{percentile, run_simulation, SimConfig, XarBackend};
+
+fn cdf_table(label: &str, values: &[f64], eps: f64) {
+    println!("\n## {label}\n");
+    let frac_within = |bound: f64| -> f64 {
+        values.iter().filter(|&&e| e <= bound).count() as f64 / values.len() as f64 * 100.0
+    };
+    header(&["bound", "metres", "% of matches within"]);
+    for (name, mult) in
+        [("0 (limit held)", 0.0), ("eps/2", 0.5), ("eps", 1.0), ("2 eps", 2.0), ("4 eps (theory)", 4.0)]
+    {
+        row(&[
+            name.to_string(),
+            format!("{:.0}", eps * mult),
+            format!("{:.2}%", frac_within(eps * mult)),
+        ]);
+    }
+    header(&["percentile", "metres", "in eps units"]);
+    for p in [50.0, 90.0, 95.0, 98.0, 99.0, 99.9, 100.0] {
+        let v = percentile(values, p);
+        row(&[format!("p{p}"), format!("{v:.0}"), format!("{:.2} eps", v / eps)]);
+    }
+}
+
+fn main() {
+    let scale = scale_arg();
+    println!("# Figure 3a — detour quality vs epsilon (scale {scale})\n");
+
+    let city = BenchCity::standard();
+    let region = city.region_delta(250.0);
+    let eps = region.epsilon_m();
+    println!(
+        "region: {} landmarks, {} clusters, realised epsilon = {:.0} m (guarantee 4*delta = 1000 m)",
+        region.landmark_count(),
+        region.cluster_count(),
+        eps
+    );
+
+    let trips = city.trips(35_000, scale);
+    let mut backend = XarBackend::new(city.xar(region));
+    let report = run_simulation(&mut backend, &trips, &SimConfig::default());
+    println!(
+        "trips: {}   booked: {}   created: {}   share rate: {:.1}%",
+        trips.len(),
+        report.booked,
+        report.created,
+        report.share_rate() * 100.0
+    );
+    if report.booked == 0 {
+        println!("no bookings — nothing to measure (increase --scale)");
+        return;
+    }
+
+    // (1) The paper's measure.
+    let excess = &report.detour_excess_m;
+    cdf_table("detour limit excess (paper's Figure 3a quantity)", excess, eps);
+
+    // (2) The stricter internal measure.
+    let errors = report.detour_errors_m();
+    cdf_table("estimate error: actual - search-time estimate (stricter)", &errors, eps);
+
+    let frac = |v: &[f64], bound: f64| {
+        v.iter().filter(|&&e| e <= bound).count() as f64 / v.len() as f64 * 100.0
+    };
+    println!(
+        "\nshape check (limit excess): within eps {:.1}% (paper: 98%), within 2eps {:.1}% \
+         (paper: 99.9%), within 4eps {:.1}% (theorem: 100%)",
+        frac(excess, eps),
+        frac(excess, 2.0 * eps),
+        frac(excess, 4.0 * eps),
+    );
+}

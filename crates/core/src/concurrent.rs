@@ -1,0 +1,151 @@
+//! Thread-safe engine wrapper for high look-to-book deployments.
+//!
+//! XAR's defining workload is many cheap searches per expensive write
+//! (§I: "multi-modal trip planners have a high look-to-book ratio").
+//! [`SharedXarEngine`] maps that profile onto a `parking_lot::RwLock`:
+//! searches take the shared read lock and run fully concurrently, while
+//! create / book / track serialize on the write lock. Under a 480:1
+//! look-to-book ratio (the Go-LA estimate, §X.B.2) contention on the
+//! write path is negligible.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::booking::BookingOutcome;
+use crate::engine::XarEngine;
+use crate::error::XarError;
+use crate::request::RideRequest;
+use crate::ride::{RideId, RideOffer, RideStatus};
+use crate::search::RideMatch;
+
+/// A clonable, thread-safe handle to an [`XarEngine`].
+#[derive(Clone)]
+pub struct SharedXarEngine {
+    inner: Arc<RwLock<XarEngine>>,
+}
+
+impl SharedXarEngine {
+    /// Wrap an engine.
+    pub fn new(engine: XarEngine) -> Self {
+        Self { inner: Arc::new(RwLock::new(engine)) }
+    }
+
+    /// Concurrent search (shared read lock).
+    pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
+        self.inner.read().search(req, limit)
+    }
+
+    /// Exclusive ride creation.
+    pub fn create_ride(&self, offer: &RideOffer) -> Result<RideId, XarError> {
+        self.inner.write().create_ride(offer)
+    }
+
+    /// Exclusive booking.
+    pub fn book(&self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
+        self.inner.write().book(m)
+    }
+
+    /// Exclusive tracking advance for one ride.
+    pub fn track_ride(&self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
+        self.inner.write().track_ride(id, now_s)
+    }
+
+    /// Exclusive tracking sweep over all rides.
+    pub fn track_all(&self, now_s: f64) -> usize {
+        self.inner.write().track_all(now_s)
+    }
+
+    /// Run a read-only closure against the engine (shared lock) — for
+    /// stats, memory accounting, and inspection.
+    pub fn with_read<R>(&self, f: impl FnOnce(&XarEngine) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::sync::Arc;
+    use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+    use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig};
+
+    fn shared() -> (SharedXarEngine, Arc<xar_roadnet::RoadGraph>) {
+        let graph = Arc::new(CityConfig::test_city(31).generate());
+        let pois = sample_pois(&graph, &PoiConfig { count: 400, ..Default::default() });
+        let region = Arc::new(RegionIndex::build(
+            Arc::clone(&graph),
+            &pois,
+            RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+        ));
+        (SharedXarEngine::new(XarEngine::new(region, EngineConfig::default())), graph)
+    }
+
+    #[test]
+    fn concurrent_searches_while_writing() {
+        let (eng, graph) = shared();
+        let n = graph.node_count() as u32;
+        // Seed a few rides.
+        for i in 0..10u32 {
+            let _ = eng.create_ride(&RideOffer::simple(
+                graph.point(NodeId((i * 37) % n)),
+                graph.point(NodeId((i * 61 + n / 2) % n)),
+                8.0 * 3600.0 + f64::from(i) * 60.0,
+                3,
+                3_000.0,
+            ));
+        }
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        // 8 reader threads hammer search while the main thread writes.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let eng = eng.clone();
+                let req = req.clone();
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let _ = eng.search(&req, usize::MAX);
+                    }
+                });
+            }
+            for i in 10..30u32 {
+                let _ = eng.create_ride(&RideOffer::simple(
+                    graph.point(NodeId((i * 37) % n)),
+                    graph.point(NodeId((i * 61 + n / 2) % n)),
+                    8.0 * 3600.0 + f64::from(i) * 60.0,
+                    3,
+                    3_000.0,
+                ));
+                eng.track_all(8.0 * 3600.0 + f64::from(i) * 30.0);
+            }
+        });
+        // Engine is intact: counters coherent, rides present.
+        eng.with_read(|e| {
+            let (searches, creates, _, _, _) = e.stats().snapshot();
+            assert!(searches >= 1_600);
+            assert!(creates >= 20);
+            assert!(e.ride_count() > 0);
+        });
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let (eng, graph) = shared();
+        let n = graph.node_count() as u32;
+        let other = eng.clone();
+        let _ = eng.create_ride(&RideOffer::simple(
+            graph.point(NodeId(0)),
+            graph.point(NodeId(n - 1)),
+            8.0 * 3600.0,
+            3,
+            2_000.0,
+        ));
+        other.with_read(|e| assert_eq!(e.ride_count(), 1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the XAR runtime operations.
+
+use crate::ride::RideId;
+
+/// Errors returned by the runtime operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XarError {
+    /// No driving route exists between the requested end-points.
+    NoRoute,
+    /// A location falls outside the discretized region and cannot be
+    /// served (neither associated with a landmark within `Δ` nor within
+    /// walking distance `W` of any cluster).
+    NotServable,
+    /// The ride id is unknown (never created, or already completed and
+    /// retired).
+    UnknownRide(RideId),
+    /// The ride has no free seats left.
+    NoSeats(RideId),
+    /// The ride can no longer serve the match: its remaining detour
+    /// budget is smaller than the detour the booking would cause.
+    DetourExceeded {
+        /// The ride that was asked to serve the booking.
+        ride: RideId,
+        /// Detour the booking would add, metres.
+        needed_m: f64,
+        /// Remaining detour budget, metres.
+        remaining_m: f64,
+    },
+    /// The match being booked is stale: the ride has already passed the
+    /// pick-up point.
+    AlreadyPassed(RideId),
+    /// A request parameter is invalid (e.g. an empty or negative time
+    /// window).
+    InvalidRequest(&'static str),
+}
+
+impl std::fmt::Display for XarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XarError::NoRoute => write!(f, "no driving route between the requested end-points"),
+            XarError::NotServable => {
+                write!(f, "location is outside the serviceable discretized region")
+            }
+            XarError::UnknownRide(id) => write!(f, "unknown ride {id:?}"),
+            XarError::NoSeats(id) => write!(f, "ride {id:?} has no free seats"),
+            XarError::DetourExceeded { ride, needed_m, remaining_m } => write!(
+                f,
+                "ride {ride:?} cannot absorb a {needed_m:.0} m detour ({remaining_m:.0} m budget left)"
+            ),
+            XarError::AlreadyPassed(id) => {
+                write!(f, "ride {id:?} has already passed the pick-up point")
+            }
+            XarError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for XarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XarError::DetourExceeded { ride: RideId(7), needed_m: 1234.5, remaining_m: 100.0 };
+        let s = e.to_string();
+        assert!(s.contains("1234") && s.contains("100"), "{s}");
+        assert!(XarError::NoRoute.to_string().contains("no driving route"));
+        assert!(XarError::UnknownRide(RideId(3)).to_string().contains("RideId(3)"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&XarError::NoRoute);
+    }
+}

@@ -1,0 +1,44 @@
+//! XAR runtime unit: the cluster-based in-memory ride index and the
+//! four runtime operations of the paper.
+//!
+//! * **Create** (operation O2, §VI) — register a ride offer: compute its
+//!   route, derive its pass-through clusters and, per segment, the
+//!   reachable clusters within the detour limit, and insert the ride
+//!   into every such cluster's *potential rides* lists.
+//! * **Search** (operation O1, §VII) — the two-step candidate
+//!   generation (walkable clusters at the source and destination,
+//!   logarithmic ETA range queries on the per-cluster lists, set
+//!   intersection) followed by the combined walking and detour checks.
+//!   **No shortest path is computed** — the defining property of XAR.
+//! * **Book** (§VIII.B) — confirm a match: insert pick-up/drop-off
+//!   via-points, recompute at most 4 shortest paths, update the route,
+//!   seats and detour budget, and refresh the index.
+//! * **Track** (operation O3, §VIII.A) — advance a ride along its
+//!   route, marking crossed pass-through clusters (and reachable
+//!   clusters that are no longer servable) obsolete, and removing the
+//!   ride from the potential lists of clusters it can no longer serve.
+//!
+//! The entry point is [`engine::XarEngine`].
+
+#![warn(missing_docs)]
+
+pub mod booking;
+pub mod concurrent;
+pub mod engine;
+pub mod error;
+pub mod index;
+pub mod request;
+pub mod ride;
+pub mod search;
+pub mod social;
+pub mod tracking;
+
+pub use booking::BookingOutcome;
+pub use concurrent::SharedXarEngine;
+pub use engine::{EngineConfig, EngineStats, XarEngine};
+pub use error::XarError;
+pub use index::ClusterIndex;
+pub use request::RideRequest;
+pub use ride::{Ride, RideId, RideOffer, RideStatus, RiderId};
+pub use search::RideMatch;
+pub use social::SocialGraph;

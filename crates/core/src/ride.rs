@@ -1,0 +1,285 @@
+//! The ride model (§VI): the ten entities that characterise a ride in
+//! XAR — source, destination, departure time, seats, route, via-points,
+//! segments, detour limit, pass-through clusters and reachable clusters.
+
+use xar_discretize::ClusterId;
+use xar_geo::GeoPoint;
+use xar_roadnet::{NodeId, Route};
+
+/// Unique ride identifier ("each ride created in the system is assigned
+/// a unique ride ID", §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RideId(pub u64);
+
+/// Identity of a person in the system (driver or requester) — used by
+/// the social-network ranking of §VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RiderId(pub u64);
+
+/// Lifecycle state of a ride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RideStatus {
+    /// Created, not yet departed (or departed and en route — rides
+    /// depart at their departure time and are advanced by tracking).
+    Active,
+    /// Tracked past the end of its route; retired from the index.
+    Completed,
+}
+
+/// A ride offer as submitted by a driver.
+#[derive(Debug, Clone)]
+pub struct RideOffer {
+    /// Where the ride begins.
+    pub source: GeoPoint,
+    /// Where the ride ends.
+    pub destination: GeoPoint,
+    /// Departure time, seconds since simulation epoch (midnight).
+    pub departure_s: f64,
+    /// Seats available for co-riders (the driver's own seat excluded).
+    pub seats: u8,
+    /// Maximum deviation from the route the driver accepts, metres.
+    pub detour_limit_m: f64,
+    /// The driver's identity, if known (enables social ranking, §VII).
+    pub driver: Option<RiderId>,
+    /// Optional intermediate points the driver insists on passing
+    /// through: "the shortest route between the source and the
+    /// destination **unless the user has explicitly specified an
+    /// alternate route**" (§VI, entity 5). The route becomes the
+    /// concatenation of shortest paths through these points, and each
+    /// becomes a via-point of the ride.
+    pub via: Vec<xar_geo::GeoPoint>,
+}
+
+impl RideOffer {
+    /// Convenience constructor for the common case: shortest route, no
+    /// declared driver identity.
+    pub fn simple(
+        source: GeoPoint,
+        destination: GeoPoint,
+        departure_s: f64,
+        seats: u8,
+        detour_limit_m: f64,
+    ) -> Self {
+        Self { source, destination, departure_s, seats, detour_limit_m, driver: None, via: Vec::new() }
+    }
+}
+
+/// A via-point: a route way-point the ride *must* pass through — the
+/// ride's own source/destination and every booked rider's pick-up and
+/// drop-off (§VI distinguishes via-points from plain way-points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViaPoint {
+    /// Index into the ride route's way-point sequence.
+    pub route_idx: usize,
+    /// The way-point node (redundant with the route, kept for O(1)
+    /// access during booking updates).
+    pub node: NodeId,
+}
+
+/// A pass-through cluster of a ride on one of its segments, with the
+/// reachable clusters servable from it without violating the detour
+/// limit.
+#[derive(Debug, Clone)]
+pub struct PassCluster {
+    /// The cluster the route passes through.
+    pub cluster: ClusterId,
+    /// Index of the segment (between via-points `seg` and `seg+1`) the
+    /// cluster lies on.
+    pub seg: usize,
+    /// Route way-point index where the ride first enters the cluster.
+    pub route_idx: usize,
+    /// Route way-point index of the last consecutive way-point inside
+    /// the cluster — the ride has "crossed" the cluster (tracking
+    /// §VIII.A) once its progress passes this index.
+    pub exit_idx: usize,
+    /// Estimated time of arrival at the cluster, absolute seconds.
+    pub eta_s: f64,
+    /// Clusters reachable from here within the remaining detour limit,
+    /// with `(cluster, estimated detour metres, estimated eta seconds)`.
+    pub reachable: Vec<(ClusterId, f64, f64)>,
+}
+
+/// A confirmed booking on a ride.
+#[derive(Debug, Clone)]
+pub struct Booking {
+    /// Pick-up way-point (index into the *current* route).
+    pub pickup_idx: usize,
+    /// Drop-off way-point (index into the *current* route).
+    pub dropoff_idx: usize,
+    /// Actual extra distance the booking added to the route, metres.
+    pub detour_m: f64,
+}
+
+/// A ride in the system. Mutated only through the engine's create /
+/// book / track operations.
+#[derive(Debug, Clone)]
+pub struct Ride {
+    /// Unique id.
+    pub id: RideId,
+    /// Source location as offered.
+    pub source: GeoPoint,
+    /// Destination location as offered.
+    pub destination: GeoPoint,
+    /// Departure time, absolute seconds.
+    pub departure_s: f64,
+    /// Seats still available.
+    pub seats_available: u8,
+    /// Current route (updated by bookings).
+    pub route: Route,
+    /// Via-points in route order; `via_points[0]` is the source,
+    /// `via_points.last()` the destination.
+    pub via_points: Vec<ViaPoint>,
+    /// Original detour budget, metres.
+    pub detour_limit_m: f64,
+    /// Detour already consumed by bookings, metres.
+    pub detour_used_m: f64,
+    /// Current pass-through clusters with their reachable sets; entries
+    /// are removed (not flagged) once obsolete.
+    pub pass_clusters: Vec<PassCluster>,
+    /// Confirmed bookings.
+    pub bookings: Vec<Booking>,
+    /// The driver's identity, if known.
+    pub driver: Option<RiderId>,
+    /// Historical congestion multiplier sampled at the ride's departure
+    /// hour (1.0 = free flow); scales every ETA of the ride.
+    pub time_scale: f64,
+    /// Lifecycle state.
+    pub status: RideStatus,
+    /// How far along the route tracking has advanced (way-point index).
+    pub progress_idx: usize,
+}
+
+impl Ride {
+    /// Remaining detour budget, metres (never negative: a booking whose
+    /// realised detour overshoots the estimate — bounded by the ε
+    /// guarantee — clamps to zero).
+    #[inline]
+    pub fn detour_remaining_m(&self) -> f64 {
+        (self.detour_limit_m - self.detour_used_m).max(0.0)
+    }
+
+    /// The segment index (between consecutive via-points) containing
+    /// route way-point `route_idx`. Way-points on a via-point boundary
+    /// belong to the segment starting there (except the final
+    /// via-point, which belongs to the last segment).
+    pub fn segment_of(&self, route_idx: usize) -> usize {
+        debug_assert!(!self.via_points.is_empty());
+        let n_seg = self.via_points.len() - 1;
+        let pos = self.via_points.partition_point(|v| v.route_idx <= route_idx);
+        pos.saturating_sub(1).min(n_seg.saturating_sub(1))
+    }
+
+    /// Estimated arrival time at route way-point `idx`, absolute
+    /// seconds: departure + cumulative free-flow time scaled by the
+    /// ride's historical congestion multiplier — the paper's
+    /// "estimated from historical travel times".
+    #[inline]
+    pub fn eta_at_route_idx(&self, idx: usize) -> f64 {
+        self.departure_s + self.route.time_at(idx) * self.time_scale
+    }
+
+    /// Scheduled completion time, absolute seconds.
+    #[inline]
+    pub fn arrival_s(&self) -> f64 {
+        self.departure_s + self.route.duration_s() * self.time_scale
+    }
+
+    /// Heap bytes held by this ride (index-size accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.route.heap_bytes()
+            + self.via_points.capacity() * std::mem::size_of::<ViaPoint>()
+            + self.pass_clusters.capacity() * std::mem::size_of::<PassCluster>()
+            + self
+                .pass_clusters
+                .iter()
+                .map(|p| p.reachable.capacity() * std::mem::size_of::<(ClusterId, f64, f64)>())
+                .sum::<usize>()
+            + self.bookings.capacity() * std::mem::size_of::<Booking>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_roadnet::{CityConfig, NodeId, RoadGraph, ShortestPaths};
+
+    fn make_ride(g: &RoadGraph) -> Ride {
+        let sp = ShortestPaths::driving(g);
+        let n = g.node_count() as u32;
+        let p = sp.path(NodeId(0), NodeId(n - 1)).expect("connected city");
+        let route = Route::from_path_result(g, &p).unwrap();
+        let last = route.len() - 1;
+        Ride {
+            id: RideId(1),
+            source: g.point(NodeId(0)),
+            destination: g.point(NodeId(n - 1)),
+            departure_s: 3600.0,
+            seats_available: 3,
+            via_points: vec![
+                ViaPoint { route_idx: 0, node: route.nodes()[0] },
+                ViaPoint { route_idx: last, node: route.nodes()[last] },
+            ],
+            route,
+            detour_limit_m: 2000.0,
+            detour_used_m: 0.0,
+            pass_clusters: vec![],
+            bookings: vec![],
+            driver: None,
+            time_scale: 1.0,
+            status: RideStatus::Active,
+            progress_idx: 0,
+        }
+    }
+
+    #[test]
+    fn detour_remaining_clamps_at_zero() {
+        let g = CityConfig::test_city(1).generate();
+        let mut r = make_ride(&g);
+        assert_eq!(r.detour_remaining_m(), 2000.0);
+        r.detour_used_m = 2500.0;
+        assert_eq!(r.detour_remaining_m(), 0.0);
+    }
+
+    #[test]
+    fn single_segment_maps_everything_to_zero() {
+        let g = CityConfig::test_city(1).generate();
+        let r = make_ride(&g);
+        assert_eq!(r.segment_of(0), 0);
+        assert_eq!(r.segment_of(r.route.len() / 2), 0);
+        assert_eq!(r.segment_of(r.route.len() - 1), 0);
+    }
+
+    #[test]
+    fn multi_segment_mapping() {
+        let g = CityConfig::test_city(1).generate();
+        let mut r = make_ride(&g);
+        let last = r.route.len() - 1;
+        let mid = last / 2;
+        r.via_points = vec![
+            ViaPoint { route_idx: 0, node: r.route.nodes()[0] },
+            ViaPoint { route_idx: mid, node: r.route.nodes()[mid] },
+            ViaPoint { route_idx: last, node: r.route.nodes()[last] },
+        ];
+        assert_eq!(r.segment_of(0), 0);
+        assert_eq!(r.segment_of(mid - 1), 0);
+        assert_eq!(r.segment_of(mid), 1, "boundary way-point starts the next segment");
+        assert_eq!(r.segment_of(last), 1, "final via-point stays in the last segment");
+    }
+
+    #[test]
+    fn eta_accumulates_from_departure() {
+        let g = CityConfig::test_city(1).generate();
+        let r = make_ride(&g);
+        assert_eq!(r.eta_at_route_idx(0), 3600.0);
+        let end = r.route.len() - 1;
+        assert!(r.eta_at_route_idx(end) > 3600.0);
+        assert_eq!(r.arrival_s(), r.eta_at_route_idx(end));
+    }
+
+    #[test]
+    fn heap_bytes_nonzero() {
+        let g = CityConfig::test_city(1).generate();
+        let r = make_ride(&g);
+        assert!(r.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The optimized ride search operation (§VII) — operation O1.
+//!
+//! Two-step procedure, verbatim from the paper:
+//!
+//! * **Step 1** — identify the grid of the request's source, take its
+//!   walkable clusters pruned to the rider's walking limit (linear in
+//!   the sorted list), and for each such cluster run a logarithmic ETA
+//!   range query on its potential-rides list. The union is `R1`.
+//! * **Step 2** — the same from the destination, giving `R2`; the
+//!   candidate set is `R' = R1 ∩ R2`.
+//!
+//! Finally, each candidate is checked for (a) combined walking at both
+//! ends within the rider's limit, and (b) combined estimated detour at
+//! both ends within the ride's remaining detour limit — plus pick-up
+//! strictly preceding drop-off and a free seat. **No shortest paths are
+//! computed anywhere on this path.**
+
+use std::collections::HashMap;
+
+use xar_discretize::{ClusterId, LandmarkId};
+
+use crate::engine::XarEngine;
+use crate::error::XarError;
+use crate::index::PotentialRide;
+use crate::request::RideRequest;
+use crate::ride::RideId;
+
+/// A feasible match returned by search: everything booking needs,
+/// carried forward so that booking does not repeat the search work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RideMatch {
+    /// The matched ride.
+    pub ride: RideId,
+    /// Cluster the rider walks to for pick-up.
+    pub pickup_cluster: ClusterId,
+    /// Concrete landmark within the pick-up cluster (nearest to the
+    /// rider).
+    pub pickup_landmark: LandmarkId,
+    /// Cluster the rider is dropped off in.
+    pub dropoff_cluster: ClusterId,
+    /// Concrete drop-off landmark.
+    pub dropoff_landmark: LandmarkId,
+    /// Walking distance to the pick-up landmark, metres.
+    pub walk_pickup_m: f64,
+    /// Walking distance from the drop-off landmark, metres.
+    pub walk_dropoff_m: f64,
+    /// Estimated ride arrival at the pick-up cluster, absolute seconds.
+    pub eta_pickup_s: f64,
+    /// Estimated ride arrival at the drop-off cluster.
+    pub eta_dropoff_s: f64,
+    /// Combined estimated detour the ride incurs (pick-up + drop-off),
+    /// metres.
+    pub detour_est_m: f64,
+    /// Ride segment the pick-up belongs to.
+    pub pickup_seg: usize,
+    /// Ride segment the drop-off belongs to.
+    pub dropoff_seg: usize,
+}
+
+impl RideMatch {
+    /// Total walking the rider incurs, metres.
+    #[inline]
+    pub fn walk_total_m(&self) -> f64 {
+        self.walk_pickup_m + self.walk_dropoff_m
+    }
+}
+
+/// Per-side candidate record: the best (least-walk) walkable cluster
+/// through which each ride was found.
+#[derive(Debug, Clone, Copy)]
+struct SideHit {
+    cluster: ClusterId,
+    landmark: LandmarkId,
+    walk_m: f64,
+    entry: PotentialRide,
+}
+
+impl XarEngine {
+    /// Search for rides that can serve `req`, returning up to `limit`
+    /// matches (`usize::MAX` for all), best (least combined walking)
+    /// first.
+    ///
+    /// Errors with [`XarError::NotServable`] when either end-point has
+    /// no walkable cluster within the rider's limit — "if a grid is
+    /// neither in the driving distance of a landmark ... nor within the
+    /// walking distance of any landmarks/cluster, then requests from it
+    /// will not be served" (§IV).
+    pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
+        req.validate()?;
+        self.stats.searches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let region = self.region();
+        let src_node = region.snap(&req.source);
+        let dst_node = region.snap(&req.destination);
+        let src_walkable = region.walkable_within(src_node, req.walk_limit_m);
+        let dst_walkable = region.walkable_within(dst_node, req.walk_limit_m);
+        if src_walkable.is_empty() || dst_walkable.is_empty() {
+            return Err(XarError::NotServable);
+        }
+
+        // Step 1: R1 from the source side, ETA within the departure
+        // window. A ride may be reachable through several walkable
+        // clusters; all hits are kept (the walkable lists are short, so
+        // this stays linear in practice) — greedy per-side pruning can
+        // discard the only *jointly* feasible combination.
+        let mut r1: HashMap<RideId, Vec<SideHit>> = HashMap::new();
+        for w in src_walkable {
+            for entry in self.index().range_eta(w.cluster, req.window_start_s, req.window_end_s) {
+                r1.entry(entry.ride).or_default().push(SideHit {
+                    cluster: w.cluster,
+                    landmark: w.landmark,
+                    walk_m: f64::from(w.walk_m),
+                    entry: *entry,
+                });
+            }
+        }
+        if r1.is_empty() {
+            return Ok(vec![]);
+        }
+
+        // Step 2: R2 from the destination side. Drop-off can happen any
+        // time after the window opens; the pick-up-before-drop-off
+        // ordering is enforced per pair below.
+        let mut r2: HashMap<RideId, Vec<SideHit>> = HashMap::new();
+        for w in dst_walkable {
+            for entry in self.index().range_eta(w.cluster, req.window_start_s, f64::INFINITY) {
+                // Cheap pre-filter: only rides already in R1 matter.
+                if !r1.contains_key(&entry.ride) {
+                    continue;
+                }
+                r2.entry(entry.ride).or_default().push(SideHit {
+                    cluster: w.cluster,
+                    landmark: w.landmark,
+                    walk_m: f64::from(w.walk_m),
+                    entry: *entry,
+                });
+            }
+        }
+
+        // Intersection + final feasibility checks: per ride, the best
+        // (least-walk) feasible (source, destination) combination wins.
+        let mut out = Vec::new();
+        for (ride_id, srcs) in &r1 {
+            let Some(dsts) = r2.get(ride_id) else { continue };
+            let Some(ride) = self.ride(*ride_id) else { continue };
+            if ride.seats_available == 0 {
+                continue;
+            }
+            let budget = ride.detour_remaining_m();
+            let mut best: Option<RideMatch> = None;
+            for src in srcs {
+                for dst in dsts {
+                    // Pick-up must strictly precede drop-off along the
+                    // ride: different clusters, increasing ETA and
+                    // segment, and non-decreasing position of the
+                    // serving pass-through point along the route
+                    // (estimated times alone can mis-order detours
+                    // hanging off nearby pass points, which would force
+                    // the ride to backtrack at booking time).
+                    if src.cluster == dst.cluster
+                        || dst.entry.eta_s <= src.entry.eta_s
+                        || dst.entry.seg < src.entry.seg
+                        || dst.entry.pass_route_idx < src.entry.pass_route_idx
+                    {
+                        continue;
+                    }
+                    // (a) combined walking within the rider's limit.
+                    let walk_total = src.walk_m + dst.walk_m;
+                    if walk_total > req.walk_limit_m {
+                        continue;
+                    }
+                    // (b) combined detour within the ride's budget.
+                    let detour_total = src.entry.detour_m + dst.entry.detour_m;
+                    if detour_total > budget {
+                        continue;
+                    }
+                    let better = best.as_ref().is_none_or(|b| {
+                        walk_total < b.walk_total_m()
+                            || (walk_total == b.walk_total_m() && detour_total < b.detour_est_m)
+                    });
+                    if better {
+                        best = Some(RideMatch {
+                            ride: *ride_id,
+                            pickup_cluster: src.cluster,
+                            pickup_landmark: src.landmark,
+                            dropoff_cluster: dst.cluster,
+                            dropoff_landmark: dst.landmark,
+                            walk_pickup_m: src.walk_m,
+                            walk_dropoff_m: dst.walk_m,
+                            eta_pickup_s: src.entry.eta_s,
+                            eta_dropoff_s: dst.entry.eta_s,
+                            detour_est_m: detour_total,
+                            pickup_seg: src.entry.seg,
+                            dropoff_seg: dst.entry.seg,
+                        });
+                    }
+                }
+            }
+            if let Some(m) = best {
+                out.push(m);
+            }
+        }
+        // "the ride that incurs least walking for the requester is
+        // matched" (§X.A.2): least walking first, deterministic ties.
+        out.sort_by(|a, b| {
+            a.walk_total_m()
+                .total_cmp(&b.walk_total_m())
+                .then(a.detour_est_m.total_cmp(&b.detour_est_m))
+                .then(a.ride.cmp(&b.ride))
+        });
+        out.truncate(limit);
+        Ok(out)
+    }
+}

@@ -1,0 +1,154 @@
+//! Social-network-aware match ranking (paper §VII).
+//!
+//! > *"For example, if a social networking graph could be built or
+//! > integrated into the system then the rides offered by people in the
+//! > social network graph of the requester can be given higher priority
+//! > while listing the options. This will address the safety concern to
+//! > some extent as people generally feel safe to travel with
+//! > co-passengers from their social network."*
+//!
+//! This is exactly why XAR returns *multiple* matches per request. The
+//! ranking is a post-processing step over the matches: friends first,
+//! then friends-of-friends, then strangers, each group keeping the
+//! least-walking order.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ride::RiderId;
+use crate::search::RideMatch;
+use crate::XarEngine;
+
+/// An undirected social graph over rider identities.
+#[derive(Debug, Default, Clone)]
+pub struct SocialGraph {
+    edges: HashMap<RiderId, HashSet<RiderId>>,
+}
+
+impl SocialGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a (symmetric) friendship.
+    pub fn add_friendship(&mut self, a: RiderId, b: RiderId) {
+        if a == b {
+            return;
+        }
+        self.edges.entry(a).or_default().insert(b);
+        self.edges.entry(b).or_default().insert(a);
+    }
+
+    /// Number of friends of `r`.
+    pub fn degree(&self, r: RiderId) -> usize {
+        self.edges.get(&r).map_or(0, HashSet::len)
+    }
+
+    /// Whether `a` and `b` are direct friends.
+    pub fn are_friends(&self, a: RiderId, b: RiderId) -> bool {
+        self.edges.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// BFS degrees of separation between `a` and `b`, capped at
+    /// `max_hops` (returns `None` beyond the cap or if disconnected;
+    /// `Some(0)` when `a == b`).
+    pub fn separation(&self, a: RiderId, b: RiderId, max_hops: usize) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut visited = HashSet::from([a]);
+        let mut queue = VecDeque::from([(a, 0usize)]);
+        while let Some((cur, depth)) = queue.pop_front() {
+            if depth >= max_hops {
+                continue;
+            }
+            for &next in self.edges.get(&cur).into_iter().flatten() {
+                if next == b {
+                    return Some(depth + 1);
+                }
+                if visited.insert(next) {
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl XarEngine {
+    /// Re-rank `matches` for `requester`: drivers socially closer to the
+    /// requester come first (friends, then friends-of-friends, …,
+    /// capped at 3 hops); within the same social distance the original
+    /// least-walking order is kept. Rides without a known driver rank
+    /// as strangers. The relative order is stable, so the output is
+    /// deterministic.
+    pub fn rank_by_social(
+        &self,
+        matches: &mut [RideMatch],
+        social: &SocialGraph,
+        requester: RiderId,
+    ) {
+        const MAX_HOPS: usize = 3;
+        matches.sort_by_key(|m| {
+            let dist = self
+                .ride(m.ride)
+                .and_then(|r| r.driver)
+                .and_then(|d| social.separation(requester, d, MAX_HOPS))
+                .unwrap_or(MAX_HOPS + 1);
+            // Stable sort: social distance is the only key; walk order
+            // is preserved within a class by stability.
+            dist
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u64) -> RiderId {
+        RiderId(i)
+    }
+
+    #[test]
+    fn friendship_is_symmetric() {
+        let mut g = SocialGraph::new();
+        g.add_friendship(r(1), r(2));
+        assert!(g.are_friends(r(1), r(2)));
+        assert!(g.are_friends(r(2), r(1)));
+        assert!(!g.are_friends(r(1), r(3)));
+        assert_eq!(g.degree(r(1)), 1);
+    }
+
+    #[test]
+    fn self_friendship_is_ignored() {
+        let mut g = SocialGraph::new();
+        g.add_friendship(r(1), r(1));
+        assert_eq!(g.degree(r(1)), 0);
+    }
+
+    #[test]
+    fn separation_chain() {
+        let mut g = SocialGraph::new();
+        g.add_friendship(r(1), r(2));
+        g.add_friendship(r(2), r(3));
+        g.add_friendship(r(3), r(4));
+        assert_eq!(g.separation(r(1), r(1), 3), Some(0));
+        assert_eq!(g.separation(r(1), r(2), 3), Some(1));
+        assert_eq!(g.separation(r(1), r(3), 3), Some(2));
+        assert_eq!(g.separation(r(1), r(4), 3), Some(3));
+        assert_eq!(g.separation(r(1), r(4), 2), None, "cap respected");
+        assert_eq!(g.separation(r(1), r(99), 5), None, "disconnected");
+    }
+
+    #[test]
+    fn separation_takes_shortest_path() {
+        let mut g = SocialGraph::new();
+        // Long way 1-2-3-4 and shortcut 1-4.
+        g.add_friendship(r(1), r(2));
+        g.add_friendship(r(2), r(3));
+        g.add_friendship(r(3), r(4));
+        g.add_friendship(r(1), r(4));
+        assert_eq!(g.separation(r(1), r(4), 5), Some(1));
+    }
+}

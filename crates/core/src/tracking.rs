@@ -1,0 +1,154 @@
+//! Ride tracking (§VIII.A) — operation O3.
+//!
+//! Once a ride is on the move, clusters it has crossed — and clusters it
+//! can no longer reach without violating its detour limit — are
+//! *obsolete* and must leave the index, or "for a new request arising
+//! from the part of the route ... that the ride has already passed,
+//! this ride \[would\] be mistakenly shown as one of the potential
+//! rides".
+//!
+//! The paper's three update steps, implemented verbatim:
+//!
+//! 1. mark each crossed pass-through cluster and all its connected
+//!    reachable clusters obsolete;
+//! 2. for each obsolete cluster, check whether it is still reachable
+//!    through any remaining valid pass-through cluster; if not, remove
+//!    the ride from that cluster's potential-rides list (if it is,
+//!    refresh the entry from the best surviving pass-through);
+//! 3. remove the crossed pass-through clusters from the ride's
+//!    pass-through list.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+use xar_discretize::ClusterId;
+
+use crate::engine::XarEngine;
+use crate::error::XarError;
+use crate::index::PotentialRide;
+use crate::ride::{RideId, RideStatus};
+
+impl XarEngine {
+    /// Advance `ride` to wall-clock time `now_s`, updating its progress
+    /// along the route and expelling obsolete clusters from the index.
+    ///
+    /// A ride tracked past the end of its route is retired: it
+    /// disappears from the index and from the engine's ride table, and
+    /// the method reports `RideStatus::Completed`.
+    pub fn track_ride(&mut self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
+        self.stats.tracks.fetch_add(1, Ordering::Relaxed);
+        let ride = self.rides_mut().get_mut(&id).ok_or(XarError::UnknownRide(id))?;
+        if now_s <= ride.departure_s {
+            return Ok(ride.status);
+        }
+        // Convert wall-clock progress back to free-flow route time via
+        // the ride's congestion multiplier.
+        let elapsed = (now_s - ride.departure_s) / ride.time_scale;
+        let new_idx = ride.route.index_at_time(elapsed);
+        if new_idx <= ride.progress_idx && new_idx + 1 < ride.route.len() {
+            return Ok(ride.status); // no forward progress; nothing to do
+        }
+
+        if new_idx + 1 >= ride.route.len() {
+            // Route finished: retire the ride completely.
+            self.with_index_and_ride(id, |ride, index| {
+                XarEngine::deindex_ride(ride, index);
+                ride.status = RideStatus::Completed;
+            });
+            self.retire_ride(id);
+            return Ok(RideStatus::Completed);
+        }
+
+        self.with_index_and_ride(id, |ride, index| {
+            ride.progress_idx = new_idx;
+            // Step 1: crossed pass-through clusters (exit way-point
+            // strictly behind the ride) and their reachable clusters.
+            let crossed: Vec<usize> = ride
+                .pass_clusters
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| (p.exit_idx < new_idx).then_some(i))
+                .collect();
+            if crossed.is_empty() {
+                return;
+            }
+            let mut obsolete: Vec<ClusterId> = Vec::new();
+            for &i in &crossed {
+                let p = &ride.pass_clusters[i];
+                obsolete.push(p.cluster);
+                obsolete.extend(p.reachable.iter().map(|&(c, _, _)| c));
+            }
+            obsolete.sort_unstable();
+            obsolete.dedup();
+
+            // Step 3 first (so Step 2 sees only the *valid* pass-through
+            // clusters): drop the crossed entries from the ride.
+            let mut keep_mask = vec![true; ride.pass_clusters.len()];
+            for &i in &crossed {
+                keep_mask[i] = false;
+            }
+            let mut iter = keep_mask.iter();
+            ride.pass_clusters.retain(|_| *iter.next().expect("mask length"));
+
+            // Step 2: for each obsolete cluster, find the best surviving
+            // way to serve it; refresh or remove its index entry.
+            let mut best: HashMap<ClusterId, PotentialRide> = HashMap::new();
+            for p in &ride.pass_clusters {
+                let self_entry = PotentialRide {
+                    ride: ride.id,
+                    eta_s: p.eta_s,
+                    detour_m: 0.0,
+                    seg: p.seg,
+                    via_pass: p.cluster,
+                    pass_route_idx: p.route_idx,
+                };
+                best.entry(p.cluster)
+                    .and_modify(|cur| {
+                        if self_entry.detour_m < cur.detour_m {
+                            *cur = self_entry;
+                        }
+                    })
+                    .or_insert(self_entry);
+                for &(c, detour, eta) in &p.reachable {
+                    let entry = PotentialRide {
+                        ride: ride.id,
+                        eta_s: eta,
+                        detour_m: detour,
+                        seg: p.seg,
+                        via_pass: p.cluster,
+                        pass_route_idx: p.route_idx,
+                    };
+                    best.entry(c)
+                        .and_modify(|cur| {
+                            if entry.detour_m < cur.detour_m
+                                || (entry.detour_m == cur.detour_m && entry.eta_s < cur.eta_s)
+                            {
+                                *cur = entry;
+                            }
+                        })
+                        .or_insert(entry);
+                }
+            }
+            for c in obsolete {
+                index.remove(c, ride.id);
+                if let Some(entry) = best.get(&c) {
+                    index.insert(c, *entry);
+                }
+            }
+        });
+        Ok(RideStatus::Active)
+    }
+
+    /// Advance every live ride to `now_s` (the periodic tracking sweep
+    /// of a deployed system). Returns the number of rides retired.
+    pub fn track_all(&mut self, now_s: f64) -> usize {
+        let ids: Vec<RideId> = self.rides().map(|r| r.id).collect();
+        let mut retired = 0;
+        for id in ids {
+            if matches!(self.track_ride(id, now_s), Ok(RideStatus::Completed)) {
+                retired += 1;
+            }
+        }
+        retired
+    }
+}

@@ -1,0 +1,377 @@
+//! End-to-end tests of the XAR runtime operations: create → search →
+//! book → track, exercised against a synthetic city.
+
+use std::sync::Arc;
+
+use xar_core::{EngineConfig, RideOffer, RideRequest, RideStatus, XarEngine, XarError};
+use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+use xar_geo::GeoPoint;
+use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig, RoadGraph};
+
+/// Shared fixture: a 20x20-block city (~2 km square) discretized with
+/// enough clusters for interesting matches.
+fn region() -> Arc<RegionIndex> {
+    let graph = Arc::new(CityConfig::test_city(77).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: 600, ..Default::default() });
+    let cfg = RegionConfig {
+        landmark_separation_m: 220.0,
+        cluster_goal: ClusterGoal::Delta(150.0),
+        assoc_drive_m: 1_200.0,
+        max_walk_m: 900.0,
+        cluster_distance_bound_m: 6_000.0,
+        ..Default::default()
+    };
+    Arc::new(RegionIndex::build(graph, &pois, cfg))
+}
+
+fn engine() -> XarEngine {
+    XarEngine::new(region(), EngineConfig::default())
+}
+
+/// Points near opposite corners of the city.
+fn corners(g: &RoadGraph) -> (GeoPoint, GeoPoint) {
+    let n = g.node_count() as u32;
+    (g.point(NodeId(0)), g.point(NodeId(n - 1)))
+}
+
+fn cross_city_offer(g: &RoadGraph) -> RideOffer {
+    let (a, b) = corners(g);
+    RideOffer { source: a, destination: b, departure_s: 8.0 * 3600.0, seats: 3, detour_limit_m: 2_500.0 , driver: None, via: Vec::new(),}
+}
+
+/// A request starting near the middle of the city going towards the
+/// destination corner.
+fn mid_to_corner_request(g: &RoadGraph) -> RideRequest {
+    let n = g.node_count() as u32;
+    let mid = g.point(NodeId(n / 2));
+    let (_, b) = corners(g);
+    RideRequest {
+        source: mid,
+        destination: b,
+        window_start_s: 8.0 * 3600.0 - 600.0,
+        window_end_s: 8.0 * 3600.0 + 1_800.0,
+        walk_limit_m: 800.0,
+    }
+}
+
+#[test]
+fn create_populates_index() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let ride = eng.ride(id).unwrap();
+    assert!(!ride.pass_clusters.is_empty(), "cross-city ride must pass clusters");
+    assert!(!eng.index().is_empty());
+    // Every pass-through cluster lists the ride with detour 0.
+    for p in &ride.pass_clusters {
+        let e = eng.index().get(p.cluster, id).expect("pass cluster entry");
+        assert_eq!(e.detour_m, 0.0);
+    }
+    // Reachable entries respect the detour budget.
+    for p in &ride.pass_clusters {
+        for &(c, detour, eta) in &p.reachable {
+            assert!(detour <= ride.detour_remaining_m() + 1e-9);
+            assert!(eta >= p.eta_s);
+            let _ = c;
+        }
+    }
+    let (_, creates, _, _, sps) = eng.stats().snapshot();
+    assert_eq!(creates, 1);
+    assert_eq!(sps, 1, "creation computes exactly one shortest path");
+}
+
+#[test]
+fn create_rejects_bad_offers() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let mut offer = cross_city_offer(&g);
+    offer.detour_limit_m = f64::NAN;
+    assert!(matches!(eng.create_ride(&offer), Err(XarError::InvalidRequest(_))));
+    let mut offer = cross_city_offer(&g);
+    offer.departure_s = f64::INFINITY;
+    assert!(matches!(eng.create_ride(&offer), Err(XarError::InvalidRequest(_))));
+}
+
+#[test]
+fn search_finds_created_ride() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let req = mid_to_corner_request(&g);
+    let matches = eng.search(&req, usize::MAX).unwrap();
+    assert!(!matches.is_empty(), "request along the route must match");
+    let m = matches.iter().find(|m| m.ride == id).expect("our ride matches");
+    assert!(m.walk_total_m() <= req.walk_limit_m);
+    assert!(m.eta_pickup_s < m.eta_dropoff_s);
+    assert!(m.eta_pickup_s >= req.window_start_s && m.eta_pickup_s <= req.window_end_s);
+    assert!(m.detour_est_m <= eng.ride(id).unwrap().detour_remaining_m());
+}
+
+#[test]
+fn search_respects_walk_limit() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let mut req = mid_to_corner_request(&g);
+    req.walk_limit_m = 0.5; // nobody walks half a metre to a landmark
+    match eng.search(&req, usize::MAX) {
+        Err(XarError::NotServable) => {}
+        Ok(ms) => assert!(ms.iter().all(|m| m.walk_total_m() <= 0.5)),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn search_respects_time_window() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let mut req = mid_to_corner_request(&g);
+    // Window entirely before the ride departs.
+    req.window_start_s = 0.0;
+    req.window_end_s = 3_600.0;
+    let matches = eng.search(&req, usize::MAX).unwrap();
+    assert!(matches.is_empty(), "ride departs at 8am; a 0-1am window cannot match");
+}
+
+#[test]
+fn search_limit_truncates_sorted_by_walk() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    // Several similar rides.
+    for i in 0..6 {
+        let mut offer = cross_city_offer(&g);
+        offer.departure_s += i as f64 * 60.0;
+        eng.create_ride(&offer).unwrap();
+    }
+    let req = mid_to_corner_request(&g);
+    let all = eng.search(&req, usize::MAX).unwrap();
+    let one = eng.search(&req, 1).unwrap();
+    if !all.is_empty() {
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], all[0]);
+        for w in all.windows(2) {
+            assert!(w[0].walk_total_m() <= w[1].walk_total_m());
+        }
+    }
+}
+
+#[test]
+fn invalid_request_is_rejected() {
+    let eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let mut req = mid_to_corner_request(&g);
+    req.window_end_s = req.window_start_s - 10.0;
+    assert!(matches!(eng.search(&req, 5), Err(XarError::InvalidRequest(_))));
+}
+
+#[test]
+fn booking_updates_ride_and_budget() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let req = mid_to_corner_request(&g);
+    let matches = eng.search(&req, usize::MAX).unwrap();
+    let m = *matches.iter().find(|m| m.ride == id).expect("match exists");
+
+    let before = eng.ride(id).unwrap().clone();
+    let outcome = eng.book(&m).unwrap();
+    let after = eng.ride(id).unwrap();
+
+    assert_eq!(after.seats_available, before.seats_available - 1);
+    assert_eq!(after.bookings.len(), 1);
+    assert!(outcome.shortest_paths <= 4, "at most 4 SPs per booking (§VIII.B)");
+    assert!(outcome.actual_detour_m >= 0.0);
+    assert!((after.detour_used_m - outcome.actual_detour_m).abs() < 1e-9);
+    // The route now passes through the pick-up and drop-off landmarks.
+    let pickup_node = eng.region().landmark(m.pickup_landmark).node;
+    let dropoff_node = eng.region().landmark(m.dropoff_landmark).node;
+    assert!(after.route.nodes().contains(&pickup_node));
+    assert!(after.route.nodes().contains(&dropoff_node));
+    // Via-points grew by 2 and remain ordered & consistent.
+    assert_eq!(after.via_points.len(), before.via_points.len() + 2);
+    for w in after.via_points.windows(2) {
+        assert!(w[0].route_idx <= w[1].route_idx);
+    }
+    for v in &after.via_points {
+        assert_eq!(after.route.nodes()[v.route_idx], v.node);
+    }
+    // Quality guarantee: realised detour within estimate + 4ε.
+    let eps = eng.region().epsilon_m();
+    assert!(
+        outcome.actual_detour_m <= outcome.estimated_detour_m + 4.0 * eps + 1e-6,
+        "actual {} vs est {} + 4ε {}",
+        outcome.actual_detour_m,
+        outcome.estimated_detour_m,
+        4.0 * eps
+    );
+}
+
+#[test]
+fn booking_consumes_seats_until_full() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let mut offer = cross_city_offer(&g);
+    offer.seats = 1;
+    offer.detour_limit_m = 6_000.0;
+    let id = eng.create_ride(&offer).unwrap();
+    let req = mid_to_corner_request(&g);
+    let matches = eng.search(&req, usize::MAX).unwrap();
+    let m = *matches.iter().find(|m| m.ride == id).expect("match");
+    eng.book(&m).unwrap();
+    // Ride is now full: stale match must fail, and search must skip it.
+    assert!(matches!(eng.book(&m), Err(XarError::NoSeats(_))));
+    let again = eng.search(&req, usize::MAX).unwrap();
+    assert!(again.iter().all(|x| x.ride != id), "full ride still returned by search");
+}
+
+#[test]
+fn booking_unknown_ride_fails() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let req = mid_to_corner_request(&g);
+    let matches = eng.search(&req, usize::MAX).unwrap();
+    let mut m = *matches.iter().find(|m| m.ride == id).expect("match");
+    m.ride = xar_core::RideId(999_999);
+    assert!(matches!(eng.book(&m), Err(XarError::UnknownRide(_))));
+}
+
+#[test]
+fn double_booking_two_riders_shares_capacity() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let mut offer = cross_city_offer(&g);
+    offer.detour_limit_m = 8_000.0;
+    let id = eng.create_ride(&offer).unwrap();
+    let req = mid_to_corner_request(&g);
+    let m1 = eng.search(&req, usize::MAX).unwrap().into_iter().find(|m| m.ride == id).unwrap();
+    eng.book(&m1).unwrap();
+    // A second, different request books the same ride after re-search.
+    let n = g.node_count() as u32;
+    let req2 = RideRequest {
+        source: g.point(NodeId(n / 3)),
+        destination: g.point(NodeId(n - 1)),
+        window_start_s: req.window_start_s,
+        window_end_s: req.window_end_s + 1_200.0,
+        walk_limit_m: 800.0,
+    };
+    if let Some(m2) = eng.search(&req2, usize::MAX).unwrap().into_iter().find(|m| m.ride == id) {
+        let out = eng.book(&m2).unwrap();
+        assert!(out.shortest_paths <= 4);
+        let ride = eng.ride(id).unwrap();
+        assert_eq!(ride.bookings.len(), 2);
+        assert_eq!(ride.seats_available, 1);
+        assert_eq!(ride.via_points.len(), 6);
+    }
+}
+
+#[test]
+fn tracking_expires_passed_clusters() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let ride = eng.ride(id).unwrap();
+    let first_cluster = ride.pass_clusters.first().unwrap().cluster;
+    let depart = ride.departure_s;
+    let halfway = depart + ride.route.duration_s() * 0.55;
+    let status = eng.track_ride(id, halfway).unwrap();
+    assert_eq!(status, RideStatus::Active);
+    let ride = eng.ride(id).unwrap();
+    assert!(ride.progress_idx > 0);
+    // The departure cluster must have been crossed by 55% of a
+    // cross-city route; unless it is still reachable as a detour, it no
+    // longer lists the ride with detour 0.
+    if let Some(e) = eng.index().get(first_cluster, id) {
+        assert!(e.detour_m > 0.0, "crossed cluster still listed as pass-through");
+    }
+    // No stale pass cluster behind the ride's progress.
+    for p in &ride.pass_clusters {
+        assert!(p.exit_idx >= ride.progress_idx);
+    }
+}
+
+#[test]
+fn tracking_to_completion_retires_ride() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let arrival = eng.ride(id).unwrap().arrival_s();
+    let status = eng.track_ride(id, arrival + 60.0).unwrap();
+    assert_eq!(status, RideStatus::Completed);
+    assert!(eng.ride(id).is_none(), "completed ride still in the table");
+    assert_eq!(eng.index().len(), 0, "completed ride left index entries behind");
+    // Tracking it again is an error.
+    assert!(matches!(eng.track_ride(id, arrival + 120.0), Err(XarError::UnknownRide(_))));
+}
+
+#[test]
+fn tracking_before_departure_is_a_noop() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let id = eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let entries = eng.index().len();
+    let status = eng.track_ride(id, 0.0).unwrap();
+    assert_eq!(status, RideStatus::Active);
+    assert_eq!(eng.index().len(), entries);
+    assert_eq!(eng.ride(id).unwrap().progress_idx, 0);
+}
+
+#[test]
+fn searches_never_compute_shortest_paths() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    eng.create_ride(&cross_city_offer(&g)).unwrap();
+    let (_, _, _, _, sps_before) = eng.stats().snapshot();
+    let req = mid_to_corner_request(&g);
+    for _ in 0..50 {
+        let _ = eng.search(&req, usize::MAX).unwrap();
+    }
+    let (searches, _, _, _, sps_after) = eng.stats().snapshot();
+    assert_eq!(searches, 50);
+    assert_eq!(sps_after, sps_before, "search performed a shortest-path computation");
+}
+
+#[test]
+fn booked_rider_stays_on_route_after_second_booking() {
+    // The via-point machinery must keep earlier riders' pick-up and
+    // drop-off nodes on the route through later bookings.
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let mut offer = cross_city_offer(&g);
+    offer.detour_limit_m = 10_000.0;
+    let id = eng.create_ride(&offer).unwrap();
+    let req = mid_to_corner_request(&g);
+    let m1 = eng.search(&req, usize::MAX).unwrap().into_iter().find(|m| m.ride == id).unwrap();
+    let pickup1 = eng.region().landmark(m1.pickup_landmark).node;
+    let dropoff1 = eng.region().landmark(m1.dropoff_landmark).node;
+    eng.book(&m1).unwrap();
+
+    let n = g.node_count() as u32;
+    let req2 = RideRequest {
+        source: g.point(NodeId(n / 4)),
+        destination: g.point(NodeId(3 * n / 4)),
+        window_start_s: req.window_start_s,
+        window_end_s: req.window_end_s + 1_800.0,
+        walk_limit_m: 800.0,
+    };
+    if let Some(m2) = eng.search(&req2, usize::MAX).unwrap().into_iter().find(|m| m.ride == id) {
+        eng.book(&m2).unwrap();
+        let ride = eng.ride(id).unwrap();
+        assert!(ride.route.nodes().contains(&pickup1), "rider 1 pick-up dropped from route");
+        assert!(ride.route.nodes().contains(&dropoff1), "rider 1 drop-off dropped from route");
+    }
+}
+
+#[test]
+fn heap_bytes_grow_with_rides() {
+    let mut eng = engine();
+    let g = Arc::clone(eng.region().graph());
+    let empty = eng.heap_bytes();
+    for i in 0..10 {
+        let mut offer = cross_city_offer(&g);
+        offer.departure_s += i as f64 * 120.0;
+        eng.create_ride(&offer).unwrap();
+    }
+    assert!(eng.heap_bytes() > empty);
+}

@@ -1,0 +1,162 @@
+//! Axis-aligned latitude/longitude bounding boxes.
+
+use crate::GeoPoint;
+
+/// An axis-aligned bounding box in latitude/longitude space.
+///
+/// Used to delimit the geographical region the system is deployed for
+/// ("if the region is a city, the entire city needs to be discretized",
+/// §III) and as the domain of the implicit grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoundingBox {
+    /// South-west corner.
+    pub min: GeoPoint,
+    /// North-east corner.
+    pub max: GeoPoint,
+}
+
+impl BoundingBox {
+    /// Create a bounding box from its south-west and north-east corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not south-west of `max`.
+    pub fn new(min: GeoPoint, max: GeoPoint) -> Self {
+        assert!(
+            min.lat <= max.lat && min.lon <= max.lon,
+            "bounding box corners out of order: {min:?} vs {max:?}"
+        );
+        Self { min, max }
+    }
+
+    /// The smallest box containing all `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = GeoPoint>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut min_lat, mut max_lat) = (first.lat, first.lat);
+        let (mut min_lon, mut max_lon) = (first.lon, first.lon);
+        for p in it {
+            min_lat = min_lat.min(p.lat);
+            max_lat = max_lat.max(p.lat);
+            min_lon = min_lon.min(p.lon);
+            max_lon = max_lon.max(p.lon);
+        }
+        Some(Self {
+            min: GeoPoint::new(min_lat, min_lon),
+            max: GeoPoint::new(max_lat, max_lon),
+        })
+    }
+
+    /// Whether the box contains `p` (inclusive on all edges).
+    #[inline]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        (self.min.lat..=self.max.lat).contains(&p.lat)
+            && (self.min.lon..=self.max.lon).contains(&p.lon)
+    }
+
+    /// The centre of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min.lat + self.max.lat) / 2.0,
+            (self.min.lon + self.max.lon) / 2.0,
+        )
+    }
+
+    /// Grow the box by `margin_deg` degrees on every side (clamped to
+    /// the valid WGS-84 range).
+    pub fn expanded(&self, margin_deg: f64) -> Self {
+        Self {
+            min: GeoPoint::new(
+                (self.min.lat - margin_deg).max(-90.0),
+                (self.min.lon - margin_deg).max(-180.0),
+            ),
+            max: GeoPoint::new(
+                (self.max.lat + margin_deg).min(90.0),
+                (self.max.lon + margin_deg).min(180.0),
+            ),
+        }
+    }
+
+    /// Approximate width (east-west extent at the centre latitude) in
+    /// metres.
+    pub fn width_m(&self) -> f64 {
+        let c = self.center();
+        GeoPoint::new(c.lat, self.min.lon).haversine_m(&GeoPoint::new(c.lat, self.max.lon))
+    }
+
+    /// Approximate height (north-south extent) in metres.
+    pub fn height_m(&self) -> f64 {
+        GeoPoint::new(self.min.lat, self.min.lon)
+            .haversine_m(&GeoPoint::new(self.max.lat, self.min.lon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BoundingBox {
+        BoundingBox::new(GeoPoint::new(40.70, -74.02), GeoPoint::new(40.80, -73.93))
+    }
+
+    #[test]
+    fn contains_interior_and_edges() {
+        let b = sample();
+        assert!(b.contains(&GeoPoint::new(40.75, -73.98)));
+        assert!(b.contains(&b.min));
+        assert!(b.contains(&b.max));
+        assert!(!b.contains(&GeoPoint::new(40.69, -73.98)));
+        assert!(!b.contains(&GeoPoint::new(40.75, -73.92)));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = vec![
+            GeoPoint::new(40.71, -74.00),
+            GeoPoint::new(40.79, -73.95),
+            GeoPoint::new(40.74, -74.01),
+        ];
+        let b = BoundingBox::from_points(pts.clone()).unwrap();
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min.lat, 40.71);
+        assert_eq!(b.max.lon, -73.95);
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = sample();
+        let c = b.center();
+        assert!((c.lat - 40.75).abs() < 1e-12);
+        assert!((c.lon + 73.975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expanded_grows_box() {
+        let b = sample().expanded(0.01);
+        assert!(b.contains(&GeoPoint::new(40.695, -74.025)));
+    }
+
+    #[test]
+    fn extent_in_metres_is_plausible() {
+        let b = sample();
+        // 0.1 deg lat ~ 11.1 km; 0.09 deg lon at 40.75N ~ 7.6 km.
+        assert!((b.height_m() - 11_120.0).abs() < 200.0, "{}", b.height_m());
+        assert!((b.width_m() - 7_580.0).abs() < 200.0, "{}", b.width_m());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_corners_panic() {
+        let _ = BoundingBox::new(GeoPoint::new(40.80, -74.02), GeoPoint::new(40.70, -73.93));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the geographic primitives.
+
+use proptest::prelude::*;
+use xar_geo::{BoundingBox, GeoPoint, GridSpec, LocalProjection};
+
+/// Strategy: points within a Manhattan-sized region.
+fn city_point() -> impl Strategy<Value = GeoPoint> {
+    (40.70f64..40.80, -74.02f64..-73.93).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+fn city_bbox() -> BoundingBox {
+    BoundingBox::new(GeoPoint::new(40.70, -74.02), GeoPoint::new(40.80, -73.93))
+}
+
+proptest! {
+    /// Haversine is a metric: non-negative, symmetric, and satisfies the
+    /// triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(a in city_point(), b in city_point(), c in city_point()) {
+        let ab = a.haversine_m(&b);
+        let ba = b.haversine_m(&a);
+        let ac = a.haversine_m(&c);
+        let cb = c.haversine_m(&b);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!(ab <= ac + cb + 1e-6);
+    }
+
+    /// Projection round-trips points within a millimetre.
+    #[test]
+    fn projection_round_trip(p in city_point()) {
+        let proj = LocalProjection::new(GeoPoint::new(40.75, -73.975));
+        let (x, y) = proj.to_xy(&p);
+        let q = proj.from_xy(x, y);
+        prop_assert!(p.haversine_m(&q) < 1e-3);
+    }
+
+    /// Every in-region point maps to a valid cell whose centroid is within
+    /// half a cell diagonal — Definition 1's unique total mapping.
+    #[test]
+    fn grid_mapping_is_total_and_tight(p in city_point(), cell in 50.0f64..500.0) {
+        let grid = GridSpec::new(city_bbox(), cell);
+        let id = grid.grid_of(&p);
+        prop_assert!(grid.is_valid(id));
+        let c = grid.centroid(id);
+        let half_diag = cell * std::f64::consts::SQRT_2 / 2.0;
+        prop_assert!(p.haversine_m(&c) <= half_diag + 1.0);
+    }
+
+    /// Two points in the same cell are within one cell diagonal of each
+    /// other; grid_of is deterministic.
+    #[test]
+    fn same_cell_points_are_close(p in city_point(), q in city_point()) {
+        let grid = GridSpec::new(city_bbox(), 100.0);
+        prop_assert_eq!(grid.grid_of(&p), grid.grid_of(&p));
+        if grid.grid_of(&p) == grid.grid_of(&q) {
+            prop_assert!(p.haversine_m(&q) <= 100.0 * std::f64::consts::SQRT_2 + 1.0);
+        }
+    }
+
+    /// destination() moves the requested distance (within 0.1%).
+    #[test]
+    fn destination_distance(p in city_point(), brg in 0.0f64..360.0, d in 1.0f64..20_000.0) {
+        let q = p.destination(brg, d);
+        let got = p.haversine_m(&q);
+        prop_assert!((got - d).abs() <= d * 1e-3 + 0.01, "asked {d}, got {got}");
+    }
+}

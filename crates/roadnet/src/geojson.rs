@@ -1,0 +1,184 @@
+//! GeoJSON export of networks and routes.
+//!
+//! Not used by the algorithms — provided so that a deployment (or a
+//! curious reader) can drop a generated city, a ride's route, or a set
+//! of landmarks onto any GeoJSON viewer and *see* what the system is
+//! doing. Output follows RFC 7946 (`[lon, lat]` coordinate order).
+
+use std::fmt::Write as _;
+
+use xar_geo::GeoPoint;
+
+use crate::graph::{RoadClass, RoadGraph};
+use crate::route::Route;
+
+fn class_name(c: RoadClass) -> &'static str {
+    match c {
+        RoadClass::Highway => "highway",
+        RoadClass::Avenue => "avenue",
+        RoadClass::Street => "street",
+        RoadClass::Lane => "lane",
+    }
+}
+
+fn write_coord(out: &mut String, p: &GeoPoint) {
+    // Six decimals ≈ 0.1 m — plenty for 100 m grids, keeps files small.
+    let _ = write!(out, "[{:.6},{:.6}]", p.lon, p.lat);
+}
+
+/// Render the whole road network as a `FeatureCollection` of
+/// `LineString` features (one per directed edge) with `class` and
+/// `len_m` properties.
+pub fn graph_to_geojson(graph: &RoadGraph) -> String {
+    let mut out = String::with_capacity(graph.edge_count() * 96);
+    out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");
+    let mut first = true;
+    for e in graph.edges() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\",\"coordinates\":[");
+        write_coord(&mut out, &graph.point(e.from));
+        out.push(',');
+        write_coord(&mut out, &graph.point(e.to));
+        let _ = write!(
+            out,
+            "]}},\"properties\":{{\"class\":\"{}\",\"len_m\":{:.1}}}}}",
+            class_name(e.class),
+            e.len_m
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a route as a single `LineString` feature with distance and
+/// duration properties.
+pub fn route_to_geojson(graph: &RoadGraph, route: &Route) -> String {
+    let mut out = String::with_capacity(route.len() * 24 + 128);
+    out.push_str("{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\",\"coordinates\":[");
+    for (i, &n) in route.nodes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_coord(&mut out, &graph.point(n));
+    }
+    let _ = write!(
+        out,
+        "]}},\"properties\":{{\"dist_m\":{:.1},\"duration_s\":{:.1}}}}}",
+        route.dist_m(),
+        route.duration_s()
+    );
+    out
+}
+
+/// Render labelled points (landmarks, stops, pick-ups …) as a
+/// `FeatureCollection` of `Point` features. Labels are written as a
+/// JSON string property and must not contain `"` or `\` (they come
+/// from this codebase, not from users); offending characters are
+/// replaced with `_` defensively.
+pub fn points_to_geojson<'a, I>(points: I) -> String
+where
+    I: IntoIterator<Item = (GeoPoint, &'a str)>,
+{
+    let mut out = String::from("{\"type\":\"FeatureCollection\",\"features\":[");
+    let mut first = true;
+    for (p, label) in points {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let safe: String =
+            label.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
+        out.push_str("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\",\"coordinates\":");
+        write_coord(&mut out, &p);
+        let _ = write!(out, "}},\"properties\":{{\"label\":\"{safe}\"}}}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::CityConfig;
+    use crate::shortest_path::ShortestPaths;
+    use crate::NodeId;
+
+    /// Minimal structural JSON check: balanced braces/brackets and no
+    /// trailing commas before closers.
+    fn assert_structurally_valid(s: &str) {
+        let mut depth_obj = 0i64;
+        let mut depth_arr = 0i64;
+        let mut prev = ' ';
+        let mut in_str = false;
+        for c in s.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' => depth_obj += 1,
+                    '}' => {
+                        assert_ne!(prev, ',', "trailing comma before }}");
+                        depth_obj -= 1;
+                    }
+                    '[' => depth_arr += 1,
+                    ']' => {
+                        assert_ne!(prev, ',', "trailing comma before ]");
+                        depth_arr -= 1;
+                    }
+                    _ => {}
+                }
+                assert!(depth_obj >= 0 && depth_arr >= 0, "closer before opener");
+            }
+            if !c.is_whitespace() {
+                prev = c;
+            }
+        }
+        assert_eq!(depth_obj, 0, "unbalanced braces");
+        assert_eq!(depth_arr, 0, "unbalanced brackets");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn graph_export_is_valid_and_complete() {
+        let g = CityConfig::manhattan(5, 5, 1).generate();
+        let js = graph_to_geojson(&g);
+        assert_structurally_valid(&js);
+        assert_eq!(js.matches("\"LineString\"").count(), g.edge_count());
+        assert!(js.contains("\"class\":\"avenue\"") || js.contains("\"class\":\"street\""));
+    }
+
+    #[test]
+    fn route_export_covers_all_waypoints() {
+        let g = CityConfig::test_city(5).generate();
+        let sp = ShortestPaths::driving(&g);
+        let n = g.node_count() as u32;
+        let route =
+            Route::from_path_result(&g, &sp.path(NodeId(0), NodeId(n - 1)).unwrap()).unwrap();
+        let js = route_to_geojson(&g, &route);
+        assert_structurally_valid(&js);
+        // One coordinate pair per way-point.
+        assert_eq!(js.matches("],[").count() + 1, route.len());
+        assert!(js.contains("\"dist_m\""));
+    }
+
+    #[test]
+    fn points_export_escapes_labels() {
+        let p = GeoPoint::new(40.7, -74.0);
+        let js = points_to_geojson([(p, "a\"b\\c")]);
+        assert_structurally_valid(&js);
+        assert!(js.contains("a_b_c"));
+    }
+
+    #[test]
+    fn empty_points_export() {
+        let js = points_to_geojson(std::iter::empty::<(GeoPoint, &str)>());
+        assert_structurally_valid(&js);
+        assert!(js.contains("\"features\":[]"));
+    }
+}

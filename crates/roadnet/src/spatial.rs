@@ -1,0 +1,199 @@
+//! Grid-bucketed nearest-node lookup.
+//!
+//! Every external location (taxi pickup, landmark, transit stop) must be
+//! snapped to a road-graph way-point before any routing can happen. The
+//! locator buckets node ids by grid cell and answers nearest-node
+//! queries by scanning outward ring by ring, which is exact because a
+//! ring at Chebyshev distance `r` cannot contain a point closer than
+//! `(r-1) * cell` metres.
+
+use xar_geo::{BoundingBox, GeoPoint, GridSpec};
+
+use crate::graph::{NodeId, RoadGraph};
+
+/// Spatial index over the nodes of a road graph.
+#[derive(Debug, Clone)]
+pub struct NodeLocator {
+    grid: GridSpec,
+    /// Node ids per cell, indexed by `row * cols + col`.
+    buckets: Vec<Vec<NodeId>>,
+    node_count: usize,
+}
+
+impl NodeLocator {
+    /// Index all nodes of `graph` with bucket cells of side `cell_m`
+    /// metres (a few hundred metres is a good default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no nodes.
+    pub fn new(graph: &RoadGraph, cell_m: f64) -> Self {
+        assert!(graph.node_count() > 0, "cannot index an empty graph");
+        let bbox = BoundingBox::from_points(graph.node_ids().map(|n| graph.point(n)))
+            .expect("non-empty graph")
+            .expanded(1e-4);
+        let grid = GridSpec::new(bbox, cell_m);
+        let mut buckets = vec![Vec::new(); grid.cell_count() as usize];
+        for n in graph.node_ids() {
+            let id = grid.grid_of(&graph.point(n));
+            buckets[(id.row as usize) * grid.cols() as usize + id.col as usize].push(n);
+        }
+        Self { grid, buckets, node_count: graph.node_count() }
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// Whether the locator is empty (never true: construction panics on
+    /// an empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    fn bucket(&self, col: u32, row: u32) -> &[NodeId] {
+        &self.buckets[(row as usize) * self.grid.cols() as usize + col as usize]
+    }
+
+    /// The graph node nearest to `p` (by great-circle distance), and the
+    /// distance to it in metres.
+    pub fn nearest(&self, graph: &RoadGraph, p: &GeoPoint) -> (NodeId, f64) {
+        let center = self.grid.grid_of(p);
+        let cell = self.grid.cell_m();
+        let max_radius = self.grid.cols().max(self.grid.rows());
+        let mut best: Option<(NodeId, f64)> = None;
+        for r in 0..=max_radius {
+            // Once we have a candidate, stop as soon as the next ring
+            // cannot possibly contain a closer node.
+            if let Some((_, d)) = best {
+                if f64::from(r.saturating_sub(1)) * cell > d {
+                    break;
+                }
+            }
+            for cid in self.grid.ring(center, r) {
+                for &n in self.bucket(cid.col, cid.row) {
+                    let d = graph.point(n).haversine_m(p);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((n, d));
+                    }
+                }
+            }
+        }
+        best.expect("locator indexes at least one node")
+    }
+
+    /// All nodes within `radius_m` metres of `p`, as `(node, distance)`
+    /// pairs sorted by distance.
+    pub fn within(&self, graph: &RoadGraph, p: &GeoPoint, radius_m: f64) -> Vec<(NodeId, f64)> {
+        let center = self.grid.grid_of(p);
+        let cell = self.grid.cell_m();
+        let rings = (radius_m / cell).ceil() as u32 + 1;
+        let mut out = Vec::new();
+        for r in 0..=rings {
+            for cid in self.grid.ring(center, r) {
+                for &n in self.bucket(cid.col, cid.row) {
+                    let d = graph.point(n).haversine_m(p);
+                    if d <= radius_m {
+                        out.push((n, d));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{RoadClass, RoadGraphBuilder};
+
+    fn grid_graph(n: usize, spacing_deg: f64) -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let mut ids = vec![];
+        for r in 0..n {
+            for c in 0..n {
+                ids.push(b.add_node(GeoPoint::new(
+                    40.70 + spacing_deg * r as f64,
+                    -74.00 + spacing_deg * c as f64,
+                )));
+            }
+        }
+        // A ring to keep the graph non-trivial.
+        for i in 1..ids.len() {
+            b.add_two_way(ids[i - 1], ids[i], RoadClass::Street, None);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn nearest_exact_hit() {
+        let g = grid_graph(10, 0.005);
+        let loc = NodeLocator::new(&g, 300.0);
+        for n in [0u32, 37, 99] {
+            let p = g.point(NodeId(n));
+            let (found, d) = loc.nearest(&g, &p);
+            assert_eq!(found, NodeId(n));
+            assert!(d < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let g = grid_graph(10, 0.005);
+        let loc = NodeLocator::new(&g, 250.0);
+        let queries = [
+            GeoPoint::new(40.712, -73.987),
+            GeoPoint::new(40.7401, -73.9703),
+            GeoPoint::new(40.699, -74.01), // outside the node bbox
+        ];
+        for q in queries {
+            let (found, d) = loc.nearest(&g, &q);
+            let (bf, bd) = g
+                .node_ids()
+                .map(|n| (n, g.point(n).haversine_m(&q)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert!((d - bd).abs() < 1e-9, "query {q:?}: {found:?}@{d} vs {bf:?}@{bd}");
+        }
+    }
+
+    #[test]
+    fn within_radius_sorted_and_complete() {
+        let g = grid_graph(10, 0.005);
+        let loc = NodeLocator::new(&g, 250.0);
+        let q = GeoPoint::new(40.72, -73.98);
+        let r = 1200.0;
+        let got = loc.within(&g, &q, r);
+        let expect: usize = g
+            .node_ids()
+            .filter(|n| g.point(*n).haversine_m(&q) <= r)
+            .count();
+        assert_eq!(got.len(), expect);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn within_zero_radius_can_be_empty() {
+        let g = grid_graph(3, 0.01);
+        let loc = NodeLocator::new(&g, 250.0);
+        let q = GeoPoint::new(40.705, -73.995); // between nodes
+        assert!(loc.within(&g, &q, 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = RoadGraphBuilder::new();
+        let a = b.add_node(GeoPoint::new(40.70, -74.00));
+        let c = b.add_node(GeoPoint::new(40.701, -74.00));
+        b.add_two_way(a, c, RoadClass::Street, None);
+        let g = b.build();
+        let loc = NodeLocator::new(&g, 100.0);
+        let (n, _) = loc.nearest(&g, &GeoPoint::new(40.7004, -74.00));
+        assert_eq!(n, a);
+    }
+}

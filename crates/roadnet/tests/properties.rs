@@ -1,0 +1,149 @@
+//! Property-based tests of the road-network substrate.
+
+use proptest::prelude::*;
+use xar_roadnet::{CityConfig, CostMetric, Direction, NodeId, RoadGraph, Route, ShortestPaths};
+
+fn graph() -> &'static RoadGraph {
+    use std::sync::OnceLock;
+    static G: OnceLock<RoadGraph> = OnceLock::new();
+    G.get_or_init(|| CityConfig::test_city(2718).generate())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Driving distance is a quasi-metric: non-negative, zero iff the
+    /// endpoints coincide (on a strongly connected city), and satisfies
+    /// the directed triangle inequality.
+    #[test]
+    fn driving_distance_is_a_quasi_metric(a in 0u32..380, b in 0u32..380, c in 0u32..380) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
+        let sp = ShortestPaths::driving(g);
+        let dab = sp.cost(a, b).expect("strongly connected");
+        let dbc = sp.cost(b, c).expect("strongly connected");
+        let dac = sp.cost(a, c).expect("strongly connected");
+        prop_assert!(dab >= 0.0);
+        prop_assert_eq!(dab == 0.0, a == b);
+        prop_assert!(dac <= dab + dbc + 1e-6, "triangle violated: {} > {} + {}", dac, dab, dbc);
+    }
+
+    /// Walking (undirected) distance is symmetric and never exceeds the
+    /// driving distance.
+    #[test]
+    fn walking_le_driving_and_symmetric(a in 0u32..380, b in 0u32..380) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let walk = ShortestPaths::walking(g);
+        let drive = ShortestPaths::driving(g);
+        let wab = walk.cost(a, b).expect("connected");
+        let wba = walk.cost(b, a).expect("connected");
+        prop_assert!((wab - wba).abs() < 1e-6, "walking asymmetric: {} vs {}", wab, wba);
+        let dab = drive.cost(a, b).expect("connected");
+        prop_assert!(wab <= dab + 1e-6, "walking {} beats driving {}", wab, dab);
+    }
+
+    /// Any shortest-path distance dominates the crow-flies distance.
+    #[test]
+    fn road_distance_dominates_haversine(a in 0u32..380, b in 0u32..380) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let sp = ShortestPaths::driving(g);
+        let d = sp.cost(a, b).expect("connected");
+        let crow = g.point(a).haversine_m(&g.point(b));
+        prop_assert!(d >= crow - 1.0, "road {} < crow {}", d, crow);
+    }
+
+    /// `bounded_from` agrees exactly with full Dijkstra inside the
+    /// bound and never reports nodes beyond it.
+    #[test]
+    fn bounded_matches_one_to_all(src in 0u32..380, bound in 100.0f64..2_500.0) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let src = NodeId(src % n);
+        let sp = ShortestPaths::driving(g);
+        let all = sp.one_to_all(src);
+        let bounded = sp.bounded_from(src, bound);
+        let map: std::collections::HashMap<u32, f64> =
+            bounded.iter().map(|&(n, d)| (n.0, d)).collect();
+        for (node, &d) in all.iter().enumerate() {
+            if d <= bound {
+                let got = map.get(&(node as u32)).copied();
+                prop_assert_eq!(got, Some(d), "node {} missing or wrong in bounded", node);
+            } else {
+                prop_assert!(!map.contains_key(&(node as u32)));
+            }
+        }
+    }
+
+    /// A* equals Dijkstra on random pairs for both metrics.
+    #[test]
+    fn astar_equals_dijkstra(a in 0u32..380, b in 0u32..380, time_metric in any::<bool>()) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let metric = if time_metric { CostMetric::Time } else { CostMetric::Distance };
+        let sp = ShortestPaths::new(g, metric, Direction::Forward);
+        let d = sp.path(a, b).map(|p| if time_metric { p.time_s } else { p.dist_m });
+        let astar = sp.astar(a, b).map(|p| if time_metric { p.time_s } else { p.dist_m });
+        match (d, astar) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6, "{} vs {}", x, y),
+            (None, None) => {}
+            other => prop_assert!(false, "disagreement: {:?}", other),
+        }
+    }
+
+    /// Splicing a route with the exact segment it already contains is
+    /// the identity; splicing with a detour adds exactly the detour's
+    /// extra length.
+    #[test]
+    fn splice_length_accounting(a in 0u32..380, b in 0u32..380, via in 0u32..380) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let (a, b, via) = (NodeId(a % n), NodeId(b % n), NodeId(via % n));
+        prop_assume!(a != b);
+        let sp = ShortestPaths::driving(g);
+        let base = Route::from_path_result(g, &sp.path(a, b).expect("connected")).unwrap();
+        let last = base.len() - 1;
+
+        // Identity splice over the full span.
+        let same = base.splice(0, last, &base);
+        prop_assert_eq!(&same, &base);
+
+        // Detour splice: a -> via -> b over the full span.
+        let leg1 = Route::from_path_result(g, &sp.path(a, via).expect("connected")).unwrap();
+        let leg2 = Route::from_path_result(g, &sp.path(via, b).expect("connected")).unwrap();
+        let detour = leg1.concat(&leg2);
+        let spliced = base.splice(0, last, &detour);
+        prop_assert!((spliced.dist_m() - detour.dist_m()).abs() < 1e-6);
+        prop_assert!(spliced.dist_m() >= base.dist_m() - 1e-6, "splice shortened a shortest path");
+        // Cumulative arrays stay monotone.
+        for i in 1..spliced.len() {
+            prop_assert!(spliced.dist_at(i) >= spliced.dist_at(i - 1));
+            prop_assert!(spliced.time_at(i) >= spliced.time_at(i - 1));
+        }
+    }
+
+    /// position_at_time is monotone along the route (points advance).
+    #[test]
+    fn route_position_monotone(a in 0u32..380, b in 0u32..380) {
+        let g = graph();
+        let n = g.node_count() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        prop_assume!(a != b);
+        let sp = ShortestPaths::driving_time(g);
+        let route = Route::from_path_result(g, &sp.path(a, b).expect("connected")).unwrap();
+        let total = route.duration_s();
+        let mut prev_idx = 0usize;
+        for step in 0..=10 {
+            let t = total * step as f64 / 10.0;
+            let idx = route.index_at_time(t);
+            prop_assert!(idx >= prev_idx, "index went backwards");
+            prev_idx = idx;
+        }
+        prop_assert_eq!(route.index_at_time(total + 1.0), route.len() - 1);
+    }
+}

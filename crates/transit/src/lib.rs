@@ -1,0 +1,28 @@
+//! GTFS-like public-transport substrate and multi-modal router.
+//!
+//! The paper integrates XAR with OpenTripPlanner fed by the New York
+//! GTFS feed (§X.B.3). This crate supplies both halves from scratch:
+//!
+//! * [`model`] — stops, lines (headway-based schedules, the common GTFS
+//!   `frequencies.txt` pattern) and the transit network;
+//! * [`generate`] — a synthetic feed generator: subway trunk corridors
+//!   and a bus grid over any road network, with realistic stop spacing
+//!   and headways;
+//! * [`plan`] — multi-leg trip plans (walk / wait / transit legs) with
+//!   the quality metrics Figure 6 reports: end-to-end travel time,
+//!   walking time, waiting time, and hop count;
+//! * [`router`] — an earliest-arrival multi-modal router (walk +
+//!   transit with transfers), the role OpenTripPlanner plays for the
+//!   paper.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod model;
+pub mod plan;
+pub mod router;
+
+pub use generate::TransitGenConfig;
+pub use model::{Line, LineId, LineKind, Schedule, Stop, StopId, TransitNetwork};
+pub use plan::{Leg, TripPlan};
+pub use router::{TransitRouter, WalkParams};

@@ -1,0 +1,195 @@
+//! [`RideBackend`] adapters for the two systems under test.
+
+use xar_core::{RideMatch, RideOffer, RideRequest, XarEngine};
+use xar_tshare::engine::{TShareMatch, TShareRequest};
+use xar_tshare::TShareEngine;
+
+use crate::sim::{BookResult, RideBackend, SimConfig};
+use crate::trips::Trip;
+
+/// XAR under simulation.
+pub struct XarBackend {
+    /// The wrapped engine (public so harnesses can inspect stats and
+    /// memory after a run).
+    pub engine: XarEngine,
+}
+
+impl XarBackend {
+    /// Wrap an engine.
+    pub fn new(engine: XarEngine) -> Self {
+        Self { engine }
+    }
+
+    fn request(trip: &Trip, cfg: &SimConfig) -> RideRequest {
+        RideRequest {
+            source: trip.pickup,
+            destination: trip.dropoff,
+            window_start_s: trip.pickup_s,
+            window_end_s: trip.pickup_s + cfg.window_s,
+            walk_limit_m: cfg.walk_limit_m,
+        }
+    }
+}
+
+impl RideBackend for XarBackend {
+    type Match = RideMatch;
+
+    fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<RideMatch> {
+        self.engine.search(&Self::request(trip, cfg), cfg.k).unwrap_or_default()
+    }
+
+    fn book(&mut self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
+        match self.engine.book(m) {
+            Ok(out) => BookResult::Booked {
+                actual_detour_m: out.actual_detour_m,
+                estimated_detour_m: out.estimated_detour_m,
+                walk_m: out.walk_total_m,
+                budget_before_m: out.detour_budget_before_m,
+            },
+            Err(_) => BookResult::Failed,
+        }
+    }
+
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
+        self.engine
+            .create_ride(&RideOffer {
+                source: trip.pickup,
+                destination: trip.dropoff,
+                departure_s: trip.pickup_s,
+                seats: cfg.seats,
+                detour_limit_m: cfg.detour_limit_m, driver: None, via: Vec::new(),
+            })
+            .is_ok()
+    }
+
+    fn track(&mut self, now_s: f64) {
+        self.engine.track_all(now_s);
+    }
+}
+
+/// The T-Share baseline under simulation.
+pub struct TShareBackend {
+    /// The wrapped engine.
+    pub engine: TShareEngine,
+}
+
+impl TShareBackend {
+    /// Wrap an engine.
+    pub fn new(engine: TShareEngine) -> Self {
+        Self { engine }
+    }
+}
+
+impl RideBackend for TShareBackend {
+    type Match = TShareMatch;
+
+    fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<TShareMatch> {
+        let req = TShareRequest {
+            pickup: trip.pickup,
+            dropoff: trip.dropoff,
+            window_start_s: trip.pickup_s,
+            window_end_s: trip.pickup_s + cfg.window_s,
+        };
+        self.engine.search(&req, cfg.k)
+    }
+
+    fn book(&mut self, m: &TShareMatch, _cfg: &SimConfig) -> BookResult {
+        match self.engine.book(m) {
+            Some(actual) => BookResult::Booked {
+                actual_detour_m: actual,
+                estimated_detour_m: m.detour_m,
+                walk_m: 0.0, // T-Share picks riders up at their door
+                budget_before_m: f64::INFINITY, // T-Share has no per-ride budget
+            },
+            None => BookResult::Failed,
+        }
+    }
+
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
+        self.engine
+            .create_taxi(trip.pickup, trip.dropoff, trip.pickup_s, cfg.seats)
+            .is_some()
+    }
+
+    fn track(&mut self, now_s: f64) {
+        self.engine.track_all(now_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run_simulation;
+    use crate::trips::{generate_trips, TripGenConfig};
+    use std::sync::Arc;
+    use xar_core::EngineConfig;
+    use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+    use xar_roadnet::{sample_pois, CityConfig, PoiConfig};
+    use xar_tshare::TShareConfig;
+
+    fn city() -> Arc<xar_roadnet::RoadGraph> {
+        Arc::new(CityConfig::manhattan(25, 25, 42).generate())
+    }
+
+    fn region(graph: &Arc<xar_roadnet::RoadGraph>) -> Arc<RegionIndex> {
+        let pois = sample_pois(graph, &PoiConfig { count: 700, ..Default::default() });
+        Arc::new(RegionIndex::build(
+            Arc::clone(graph),
+            &pois,
+            RegionConfig {
+                landmark_separation_m: 220.0,
+                cluster_goal: ClusterGoal::Delta(150.0),
+                max_walk_m: 900.0,
+                ..Default::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn xar_simulation_shares_rides() {
+        let graph = city();
+        let reg = region(&graph);
+        let trips = generate_trips(&graph, &TripGenConfig { count: 400, ..Default::default() });
+        let mut backend = XarBackend::new(XarEngine::new(reg, EngineConfig::default()));
+        let report = run_simulation(&mut backend, &trips, &SimConfig::default());
+        assert_eq!(report.booked + report.created + report.unservable, 400);
+        assert!(report.created > 0, "first trips must create rides");
+        assert!(report.booked > 0, "hotspot workload must produce shares");
+        // Quality: every booking respected the walking limit.
+        for w in &report.walk_m {
+            assert!(*w <= 800.0 + 1e-9);
+        }
+        // XAR search never computes shortest paths.
+        let (_, creates, bookings, _, sps) = backend.engine.stats().snapshot();
+        assert!(sps <= creates + 4 * bookings, "search leaked shortest paths");
+    }
+
+    #[test]
+    fn tshare_simulation_shares_rides() {
+        let graph = city();
+        let trips = generate_trips(&graph, &TripGenConfig { count: 300, ..Default::default() });
+        let cfg = TShareConfig { grid_cell_m: 400.0, ..Default::default() };
+        let mut backend = TShareBackend::new(TShareEngine::new(Arc::clone(&graph), cfg));
+        let report = run_simulation(&mut backend, &trips, &SimConfig::default());
+        assert_eq!(report.booked + report.created + report.unservable, 300);
+        assert!(report.booked > 0, "T-Share must also find shares");
+    }
+
+    #[test]
+    fn same_workload_both_systems_comparable_share_rates() {
+        // Not a performance test — just that the two backends see the
+        // same protocol and produce sane, comparable outcomes.
+        let graph = city();
+        let reg = region(&graph);
+        let trips = generate_trips(&graph, &TripGenConfig { count: 300, ..Default::default() });
+        let mut xar = XarBackend::new(XarEngine::new(reg, EngineConfig::default()));
+        let rx = run_simulation(&mut xar, &trips, &SimConfig::default());
+        let mut ts = TShareBackend::new(TShareEngine::new(
+            Arc::clone(&graph),
+            TShareConfig { grid_cell_m: 400.0, ..Default::default() },
+        ));
+        let rt = run_simulation(&mut ts, &trips, &SimConfig::default());
+        assert!(rx.share_rate() > 0.02);
+        assert!(rt.share_rate() > 0.02);
+    }
+}

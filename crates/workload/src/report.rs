@@ -1,0 +1,165 @@
+//! Simulation measurement reports.
+
+/// Everything one simulation run records: per-operation latencies and
+/// outcome counters. The figure harnesses aggregate these into the
+/// paper's series.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct SimReport {
+    /// Wall-clock nanoseconds per search operation.
+    pub search_ns: Vec<u64>,
+    /// Wall-clock nanoseconds per ride-creation operation.
+    pub create_ns: Vec<u64>,
+    /// Wall-clock nanoseconds per booking attempt.
+    pub book_ns: Vec<u64>,
+    /// Searches issued (looks).
+    pub looks: u64,
+    /// Total matches returned across searches.
+    pub matches_returned: u64,
+    /// Requests served by booking an existing ride.
+    pub booked: u64,
+    /// Requests that created a new ride (a new car on the road).
+    pub created: u64,
+    /// Matches that went stale between search and booking.
+    pub stale_matches: u64,
+    /// Requests that could neither book nor create.
+    pub unservable: u64,
+    /// Realised booking detours, metres.
+    pub detour_actual_m: Vec<f64>,
+    /// Search-time detour estimates, metres.
+    pub detour_estimated_m: Vec<f64>,
+    /// Rider walking distances, metres.
+    pub walk_m: Vec<f64>,
+    /// Per booking: how far the realised detour exceeded the ride's
+    /// remaining detour *limit* (0 when the limit held) — the paper's
+    /// "detour limit exceeded by at most ..." quantity.
+    pub detour_excess_m: Vec<f64>,
+}
+
+impl SimReport {
+    /// Detour-approximation errors `actual − estimated` (clamped at 0),
+    /// metres — the quantity Figure 3a plots against ε.
+    pub fn detour_errors_m(&self) -> Vec<f64> {
+        self.detour_actual_m
+            .iter()
+            .zip(&self.detour_estimated_m)
+            .map(|(a, e)| (a - e).max(0.0))
+            .collect()
+    }
+
+    /// Share of requests served by sharing (booked / (booked+created)).
+    pub fn share_rate(&self) -> f64 {
+        let total = self.booked + self.created;
+        if total == 0 {
+            0.0
+        } else {
+            self.booked as f64 / total as f64
+        }
+    }
+
+    /// Total wall-clock seconds spent in searches.
+    pub fn total_search_s(&self) -> f64 {
+        self.search_ns.iter().sum::<u64>() as f64 / 1e9
+    }
+
+    /// Total wall-clock seconds spent in creations.
+    pub fn total_create_s(&self) -> f64 {
+        self.create_ns.iter().sum::<u64>() as f64 / 1e9
+    }
+
+    /// Total wall-clock seconds spent in bookings.
+    pub fn total_book_s(&self) -> f64 {
+        self.book_ns.iter().sum::<u64>() as f64 / 1e9
+    }
+
+    /// Mean search latency in milliseconds.
+    pub fn mean_search_ms(&self) -> f64 {
+        if self.search_ns.is_empty() {
+            0.0
+        } else {
+            self.search_ns.iter().sum::<u64>() as f64 / self.search_ns.len() as f64 / 1e6
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) of nanosecond samples, in
+/// nanoseconds (convenience wrapper over [`percentile`]).
+pub fn percentile_ns(values: &[u64], p: f64) -> f64 {
+    let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+    percentile(&v, p)
+}
+
+/// The `p`-th percentile (0–100) of `values`, by linear interpolation
+/// on the sorted data. Returns 0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_ns_converts() {
+        assert_eq!(percentile_ns(&[100u64, 200, 300], 100.0), 300.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert_eq!(percentile(&v, 50.0), 25.0);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(percentile(&empty, 50.0), 0.0);
+        let one = vec![7.0f64];
+        assert_eq!(percentile(&one, 95.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v: Vec<f64> = vec![40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert_eq!(percentile(&v, 0.0), 10.0);
+    }
+
+    #[test]
+    fn detour_errors_clamp() {
+        let r = SimReport {
+            detour_actual_m: vec![100.0, 50.0],
+            detour_estimated_m: vec![80.0, 60.0],
+            ..Default::default()
+        };
+        assert_eq!(r.detour_errors_m(), vec![20.0, 0.0]);
+    }
+
+    #[test]
+    fn share_rate() {
+        let r = SimReport { booked: 30, created: 70, ..Default::default() };
+        assert!((r.share_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(SimReport::default().share_rate(), 0.0);
+    }
+
+    #[test]
+    fn totals() {
+        let r = SimReport {
+            search_ns: vec![1_000_000, 3_000_000],
+            ..Default::default()
+        };
+        assert!((r.total_search_s() - 0.004).abs() < 1e-12);
+        assert!((r.mean_search_ms() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! The ride-sharing simulation framework of §X.A.2, generic over the
+//! system under test.
+
+use std::time::Instant;
+
+use crate::report::SimReport;
+use crate::trips::Trip;
+
+/// Simulation parameters shared by both systems.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Rider walking threshold per request, metres (XAR only; T-Share
+    /// picks riders up at their location).
+    pub walk_limit_m: f64,
+    /// Pick-up window width: a request at `t` accepts pick-ups in
+    /// `[t, t + window_s]`.
+    pub window_s: f64,
+    /// Detour budget given to newly created rides, metres.
+    pub detour_limit_m: f64,
+    /// Seats offered by a newly created ride (taxi capacity 4 including
+    /// the driver ⇒ 3).
+    pub seats: u8,
+    /// Matches requested per search (`usize::MAX` = all).
+    pub k: usize,
+    /// Run a tracking sweep every this many simulated seconds (`None`
+    /// disables tracking).
+    pub track_every_s: Option<f64>,
+    /// Extra *look* searches issued per booking — the look-to-book
+    /// ratio `r` of Figure 5b is `lookups_per_request + 1`.
+    pub lookups_per_request: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            walk_limit_m: 800.0,
+            window_s: 1_200.0,
+            detour_limit_m: 4_000.0,
+            seats: 3,
+            k: usize::MAX,
+            track_every_s: Some(600.0),
+            lookups_per_request: 0,
+        }
+    }
+}
+
+/// A ride-sharing system under simulation. Implemented for XAR and for
+/// the T-Share baseline in [`crate::backend`].
+pub trait RideBackend {
+    /// An opaque match handle.
+    type Match;
+
+    /// Search for rides serving `trip`; up to `k` matches, best first.
+    fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<Self::Match>;
+    /// Book a match; `false` if the booking failed (stale match).
+    fn book(&mut self, m: &Self::Match, cfg: &SimConfig) -> BookResult;
+    /// Offer `trip` as a new ride; `false` if the offer could not be
+    /// created (e.g. unroutable end-points).
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool;
+    /// Advance the system clock (tracking sweep).
+    fn track(&mut self, now_s: f64);
+}
+
+/// Outcome of one booking attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BookResult {
+    /// Booked; carries `(actual detour m, estimated detour m,
+    /// walked m)` for quality accounting.
+    Booked {
+        /// Realised route extension, metres.
+        actual_detour_m: f64,
+        /// Search-time detour estimate, metres.
+        estimated_detour_m: f64,
+        /// Rider walking, metres.
+        walk_m: f64,
+        /// The ride's remaining detour budget before the booking,
+        /// metres.
+        budget_before_m: f64,
+    },
+    /// The match went stale (ride full / departed); the simulation
+    /// falls through to ride creation.
+    Failed,
+}
+
+/// Run the §X.A.2 protocol over `trips`: search; book the best match
+/// if any (falling through the match list on stale entries); otherwise
+/// create a new ride. Per-operation wall-clock latencies are recorded
+/// in the returned report.
+pub fn run_simulation<B: RideBackend>(
+    backend: &mut B,
+    trips: &[Trip],
+    cfg: &SimConfig,
+) -> SimReport {
+    let mut report = SimReport::default();
+    let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
+    for trip in trips {
+        if let Some(every) = cfg.track_every_s {
+            while trip.pickup_s >= next_track {
+                backend.track(next_track);
+                next_track += every;
+            }
+        }
+
+        // Extra "look" searches (high look-to-book scenarios, Fig. 5b).
+        for _ in 0..cfg.lookups_per_request {
+            let t0 = Instant::now();
+            let _ = backend.search(trip, cfg);
+            report.search_ns.push(t0.elapsed().as_nanos() as u64);
+            report.looks += 1;
+        }
+
+        let t0 = Instant::now();
+        let matches = backend.search(trip, cfg);
+        report.search_ns.push(t0.elapsed().as_nanos() as u64);
+        report.looks += 1;
+        report.matches_returned += matches.len() as u64;
+
+        let mut booked = false;
+        for m in &matches {
+            let t0 = Instant::now();
+            let res = backend.book(m, cfg);
+            report.book_ns.push(t0.elapsed().as_nanos() as u64);
+            if let BookResult::Booked { actual_detour_m, estimated_detour_m, walk_m, budget_before_m } =
+                res
+            {
+                report.booked += 1;
+                report.detour_actual_m.push(actual_detour_m);
+                report.detour_estimated_m.push(estimated_detour_m);
+                report.detour_excess_m.push((actual_detour_m - budget_before_m).max(0.0));
+                report.walk_m.push(walk_m);
+                booked = true;
+                break;
+            }
+            report.stale_matches += 1;
+        }
+        if !booked {
+            let t0 = Instant::now();
+            let ok = backend.create(trip, cfg);
+            report.create_ns.push(t0.elapsed().as_nanos() as u64);
+            if ok {
+                report.created += 1;
+            } else {
+                report.unservable += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trips::{generate_trips, TripGenConfig};
+    use xar_roadnet::CityConfig;
+
+    /// A scripted backend to validate the protocol mechanics.
+    struct Scripted {
+        /// Per call: how many matches search returns.
+        match_counts: Vec<usize>,
+        searches: usize,
+        books: usize,
+        creates: usize,
+        tracks: Vec<f64>,
+        fail_first_booking: bool,
+    }
+
+    impl RideBackend for Scripted {
+        type Match = ();
+
+        fn search(&mut self, _t: &Trip, _c: &SimConfig) -> Vec<()> {
+            let n = self.match_counts.get(self.searches).copied().unwrap_or(0);
+            self.searches += 1;
+            vec![(); n]
+        }
+        fn book(&mut self, _m: &(), _c: &SimConfig) -> BookResult {
+            self.books += 1;
+            if self.fail_first_booking && self.books == 1 {
+                BookResult::Failed
+            } else {
+                BookResult::Booked {
+                    actual_detour_m: 10.0,
+                    estimated_detour_m: 8.0,
+                    walk_m: 50.0,
+                    budget_before_m: 100.0,
+                }
+            }
+        }
+        fn create(&mut self, _t: &Trip, _c: &SimConfig) -> bool {
+            self.creates += 1;
+            true
+        }
+        fn track(&mut self, now: f64) {
+            self.tracks.push(now);
+        }
+    }
+
+    fn trips(n: usize) -> Vec<Trip> {
+        let g = CityConfig::test_city(1).generate();
+        generate_trips(&g, &TripGenConfig { count: n, ..Default::default() })
+    }
+
+    #[test]
+    fn protocol_books_else_creates() {
+        let ts = trips(3);
+        let mut b = Scripted {
+            match_counts: vec![0, 2, 0],
+            searches: 0,
+            books: 0,
+            creates: 0,
+            tracks: vec![],
+            fail_first_booking: false,
+        };
+        let cfg = SimConfig { track_every_s: None, ..Default::default() };
+        let r = run_simulation(&mut b, &ts, &cfg);
+        assert_eq!(b.searches, 3);
+        assert_eq!(r.booked, 1);
+        assert_eq!(r.created, 2);
+        assert_eq!(b.books, 1, "first match books, second never tried");
+        assert_eq!(r.matches_returned, 2);
+        assert_eq!(r.looks, 3);
+    }
+
+    #[test]
+    fn stale_match_falls_through_to_next() {
+        let ts = trips(1);
+        let mut b = Scripted {
+            match_counts: vec![2],
+            searches: 0,
+            books: 0,
+            creates: 0,
+            tracks: vec![],
+            fail_first_booking: true,
+        };
+        let cfg = SimConfig { track_every_s: None, ..Default::default() };
+        let r = run_simulation(&mut b, &ts, &cfg);
+        assert_eq!(b.books, 2);
+        assert_eq!(r.booked, 1);
+        assert_eq!(r.stale_matches, 1);
+        assert_eq!(r.created, 0);
+    }
+
+    #[test]
+    fn all_stale_matches_create_instead() {
+        let ts = trips(1);
+        struct AllStale {
+            books: usize,
+        }
+        impl RideBackend for AllStale {
+            type Match = ();
+            fn search(&mut self, _: &Trip, _: &SimConfig) -> Vec<()> {
+                vec![(); 3]
+            }
+            fn book(&mut self, _: &(), _: &SimConfig) -> BookResult {
+                self.books += 1;
+                BookResult::Failed
+            }
+            fn create(&mut self, _: &Trip, _: &SimConfig) -> bool {
+                true
+            }
+            fn track(&mut self, _: f64) {}
+        }
+        let mut b = AllStale { books: 0 };
+        let cfg = SimConfig { track_every_s: None, ..Default::default() };
+        let r = run_simulation(&mut b, &ts, &cfg);
+        assert_eq!(b.books, 3);
+        assert_eq!(r.created, 1);
+    }
+
+    #[test]
+    fn tracking_sweeps_at_interval() {
+        let ts = trips(50);
+        let mut b = Scripted {
+            match_counts: vec![],
+            searches: 0,
+            books: 0,
+            creates: 0,
+            tracks: vec![],
+            fail_first_booking: false,
+        };
+        let cfg = SimConfig { track_every_s: Some(3_600.0), ..Default::default() };
+        run_simulation(&mut b, &ts, &cfg);
+        assert!(!b.tracks.is_empty());
+        for w in b.tracks.windows(2) {
+            assert!((w[1] - w[0] - 3_600.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lookups_multiply_searches() {
+        let ts = trips(4);
+        let mut b = Scripted {
+            match_counts: vec![],
+            searches: 0,
+            books: 0,
+            creates: 0,
+            tracks: vec![],
+            fail_first_booking: false,
+        };
+        let cfg =
+            SimConfig { track_every_s: None, lookups_per_request: 9, ..Default::default() };
+        let r = run_simulation(&mut b, &ts, &cfg);
+        assert_eq!(b.searches, 40, "10 searches per request (r = 10)");
+        assert_eq!(r.looks, 40);
+    }
+}

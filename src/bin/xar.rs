@@ -1,0 +1,202 @@
+//! `xar` — command-line front-end to the Xhare-a-Ride system.
+//!
+//! ```text
+//! xar build-region [--rows N] [--cols N] [--seed S] [--delta M]
+//!                  [--clusters C] --out region.xarr
+//!     Generate a synthetic city, run the pre-processing pipeline and
+//!     persist the region index.
+//!
+//! xar inspect --region region.xarr
+//!     Print the discretization summary of a persisted region.
+//!
+//! xar simulate --region region.xarr [--trips N] [--seed S] [--k N]
+//!              [--walk M] [--window S] [--detour M] [--json FILE]
+//!     Run the paper's §X.A.2 ride-sharing simulation over a synthetic
+//!     taxi day and report outcome + latency statistics (optionally
+//!     dumping the raw report as JSON).
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use xhare_a_ride::core::{EngineConfig, XarEngine};
+use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
+use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
+use xhare_a_ride::workload::{
+    generate_trips, percentile_ns, run_simulation, SimConfig, TripGenConfig, XarBackend,
+};
+
+/// Minimal `--key value` flag parser.
+struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("flag --{key} is missing a value"));
+            };
+            values.insert(key.to_string(), v.clone());
+        }
+        Ok(Self { values })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    fn get_opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get_opt(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE]"
+}
+
+fn build_region(flags: &Flags) -> Result<(), String> {
+    let rows: usize = flags.get("rows", 60)?;
+    let cols: usize = flags.get("cols", 60)?;
+    let seed: u64 = flags.get("seed", 1)?;
+    let out = flags.require("out")?;
+    let goal = if let Some(c) = flags.get_opt("clusters") {
+        ClusterGoal::FixedCount(c.parse().map_err(|_| "invalid --clusters".to_string())?)
+    } else {
+        ClusterGoal::Delta(flags.get("delta", 250.0)?)
+    };
+
+    eprintln!("generating {rows}x{cols} city (seed {seed})...");
+    let graph = Arc::new(CityConfig::manhattan(rows, cols, seed).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: rows * cols / 2, ..Default::default() });
+    eprintln!(
+        "pre-processing: {} nodes, {} POIs -> landmarks -> clusters...",
+        graph.node_count(),
+        pois.len()
+    );
+    let region =
+        RegionIndex::build(graph, &pois, RegionConfig { cluster_goal: goal, ..Default::default() });
+    region.save(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "region saved to {out}: {} landmarks, {} clusters, epsilon {:.0} m, tables {:.1} MiB",
+        region.landmark_count(),
+        region.cluster_count(),
+        region.epsilon_m(),
+        region.heap_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    Ok(())
+}
+
+fn inspect(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("region")?;
+    let region = RegionIndex::load(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let g = region.graph();
+    println!("region file    : {path}");
+    println!("road network   : {} way-points, {} segments", g.node_count(), g.edge_count());
+    println!("grid           : {} x {} cells of {:.0} m", region.grid().cols(), region.grid().rows(), region.grid().cell_m());
+    println!("landmarks      : {}", region.landmark_count());
+    println!("clusters       : {}", region.cluster_count());
+    println!("epsilon        : {:.0} m (worst intra-cluster driving distance)", region.epsilon_m());
+    println!("tables in RAM  : {:.1} MiB", region.heap_bytes() as f64 / (1024.0 * 1024.0));
+    let sizes: Vec<usize> = (0..region.cluster_count() as u32)
+        .map(|c| region.cluster_members(xhare_a_ride::discretize::ClusterId(c)).len())
+        .collect();
+    let max = sizes.iter().max().copied().unwrap_or(0);
+    let avg = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+    println!("cluster sizes  : avg {avg:.1} landmarks, max {max}");
+    Ok(())
+}
+
+fn simulate(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("region")?;
+    let trips_n: usize = flags.get("trips", 10_000)?;
+    let seed: u64 = flags.get("seed", 0x7A11)?;
+    let k: usize = flags.get("k", usize::MAX)?;
+    let walk: f64 = flags.get("walk", 800.0)?;
+    let window: f64 = flags.get("window", 1_200.0)?;
+    let detour: f64 = flags.get("detour", 4_000.0)?;
+
+    let region =
+        Arc::new(RegionIndex::load(path).map_err(|e| format!("cannot read {path}: {e}"))?);
+    let trips = generate_trips(
+        region.graph(),
+        &TripGenConfig { count: trips_n, seed, ..Default::default() },
+    );
+    eprintln!("simulating {} trips on {} clusters...", trips.len(), region.cluster_count());
+    let mut backend = XarBackend::new(XarEngine::new(Arc::clone(&region), EngineConfig::default()));
+    let cfg = SimConfig { walk_limit_m: walk, window_s: window, detour_limit_m: detour, k, ..Default::default() };
+    let report = run_simulation(&mut backend, &trips, &cfg);
+
+    println!("trips          : {}", trips.len());
+    println!("booked         : {} ({:.1}% share rate)", report.booked, report.share_rate() * 100.0);
+    println!("created        : {}", report.created);
+    println!("unservable     : {}", report.unservable);
+    println!(
+        "search latency : avg {:.1} µs, p95 {:.1} µs, p99 {:.1} µs",
+        report.mean_search_ms() * 1e3,
+        percentile_ns(&report.search_ns, 95.0) / 1e3,
+        percentile_ns(&report.search_ns, 99.0) / 1e3,
+    );
+    println!(
+        "create latency : p50 {:.1} µs   book latency: p50 {:.1} µs",
+        percentile_ns(&report.create_ns, 50.0) / 1e3,
+        percentile_ns(&report.book_ns, 50.0) / 1e3,
+    );
+    let (_, _, _, _, sps) = backend.engine.stats().snapshot();
+    println!("shortest paths : {sps} (never during search)");
+    println!(
+        "runtime memory : {:.1} MiB",
+        backend.engine.heap_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    if let Some(json) = flags.get_opt("json") {
+        let text = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        std::fs::write(json, text).map_err(|e| format!("cannot write {json}: {e}"))?;
+        println!("raw report     : {json}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "build-region" => build_region(&flags),
+        "inspect" => inspect(&flags),
+        "simulate" => simulate(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

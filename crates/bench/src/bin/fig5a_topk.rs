@@ -1,5 +1,5 @@
-//! Figure 5a — average search time vs the number of requested matches
-//! `k`, with T-Share's shortest paths replaced by the haversine formula.
+//! Figure 5a — search time vs the number of requested matches `k`,
+//! with T-Share's shortest paths replaced by the haversine formula.
 //!
 //! The paper's point: even with "negligible constant time" distance
 //! computation, T-Share's search time grows linearly in `k` while XAR
@@ -9,21 +9,24 @@
 //!
 //! Protocol: both systems are loaded with the *same frozen pool* of
 //! ride offers (no bookings, so the state is identical across all `k`),
-//! then the same request set is searched at each `k` and the mean
-//! latency reported.
+//! then the same request set is searched at each `k`. Per-query
+//! latencies are recorded into an `xar-obs` registry (one fresh
+//! registry per `k`, so the distributions don't mix), and the table
+//! reports the registry's p50/p99 instead of a single hand-rolled mean.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use xar_bench::{fmt_time_s, header, row, scale_arg, BenchCity};
 use xar_core::{RideOffer, RideRequest};
+use xar_obs::Registry;
 use xar_tshare::engine::TShareRequest;
 use xar_tshare::{DistanceMode, TShareConfig, TShareEngine};
 
 fn main() {
     let scale = scale_arg();
-    println!("# Figure 5a — avg search time vs k (T-Share in haversine mode, scale {scale})\n");
-    println!("protocol: frozen 7-9am ride pool, identical for every k\n");
+    println!("# Figure 5a — search time vs k (T-Share in haversine mode, scale {scale})\n");
+    println!("protocol: frozen 7-9am ride pool, identical for every k; p50/p99 from registry histograms\n");
     let city = BenchCity::standard();
     // A realistic live snapshot: the pool is the 7-9 am departure band
     // (tracking would have retired everything older), queried inside
@@ -71,11 +74,24 @@ fn main() {
     }
     println!("frozen pool: {created} rides; {} queries per k\n", queries.len());
 
-    header(&["k", "XAR avg search", "T-Share avg search", "T-Share / XAR", "avg matches (T-Share)"]);
+    header(&[
+        "k",
+        "XAR p50",
+        "XAR p99",
+        "T-Share p50",
+        "T-Share p99",
+        "T-Share / XAR (mean)",
+        "avg matches (T-Share)",
+    ]);
     let mut series = Vec::new();
     for k in [1usize, 2, 5, 10, 15, 20, 25] {
+        // Fresh registry per k so the per-k latency distributions stay
+        // separate.
+        let reg = Registry::new();
+        let x_hist = reg.histogram("fig5a.xar_search_ns");
+        let t_hist = reg.histogram("fig5a.tshare_search_ns");
+
         // XAR.
-        let t0 = Instant::now();
         let mut x_matches = 0usize;
         for q in &queries {
             let req = RideRequest {
@@ -85,12 +101,13 @@ fn main() {
                 window_end_s: q.pickup_s + 1_200.0,
                 walk_limit_m: 800.0,
             };
-            x_matches += xar.search(&req, k).map_or(0, |m| m.len());
+            let t0 = Instant::now();
+            let m = xar.search(&req, k);
+            x_hist.record(t0.elapsed().as_nanos() as u64);
+            x_matches += m.map_or(0, |m| m.len());
         }
-        let x_avg = t0.elapsed().as_secs_f64() / queries.len() as f64;
 
         // T-Share.
-        let t0 = Instant::now();
         let mut t_matches = 0usize;
         for q in &queries {
             let req = TShareRequest {
@@ -99,16 +116,22 @@ fn main() {
                 window_start_s: q.pickup_s,
                 window_end_s: q.pickup_s + 1_200.0,
             };
-            t_matches += tshare.search(&req, k).len();
+            let t0 = Instant::now();
+            let m = tshare.search(&req, k);
+            t_hist.record(t0.elapsed().as_nanos() as u64);
+            t_matches += m.len();
         }
-        let t_avg = t0.elapsed().as_secs_f64() / queries.len() as f64;
 
-        series.push((k, x_avg, t_avg));
+        let xs = x_hist.snapshot();
+        let ts = t_hist.snapshot();
+        series.push((k, xs.mean, ts.mean));
         row(&[
             k.to_string(),
-            fmt_time_s(x_avg),
-            fmt_time_s(t_avg),
-            format!("{:.1}x", t_avg / x_avg.max(1e-12)),
+            fmt_time_s(xs.p50 as f64 / 1e9),
+            fmt_time_s(xs.p99 as f64 / 1e9),
+            fmt_time_s(ts.p50 as f64 / 1e9),
+            fmt_time_s(ts.p99 as f64 / 1e9),
+            format!("{:.1}x", ts.mean / xs.mean.max(1e-3)),
             format!("{:.1}", t_matches as f64 / queries.len() as f64),
         ]);
         let _ = x_matches;
@@ -118,7 +141,7 @@ fn main() {
     let (_, xk, tk) = *series.last().expect("non-empty sweep");
     println!(
         "\nshape check: T-Share k=25 / k=1 = {:.1}x (grows with k); XAR k=25 / k=1 = {:.1}x (flat).",
-        tk / t1.max(1e-12),
-        xk / x1.max(1e-12)
+        tk / t1.max(1e-3),
+        xk / x1.max(1e-3)
     );
 }

@@ -51,6 +51,7 @@ impl XarEngine {
     /// point, or no longer has the detour budget for the realised
     /// route change.
     pub fn book(&mut self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
+        let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.book_ns));
         let region = std::sync::Arc::clone(self.region());
         let pickup_node = region.landmark(m.pickup_landmark).node;
         let dropoff_node = region.landmark(m.dropoff_landmark).node;
@@ -77,9 +78,14 @@ impl XarEngine {
         let sp = ShortestPaths::driving(region.graph());
         let graph = region.graph();
         let mut sp_count = 0usize;
+        let sp_ns = std::sync::Arc::clone(&self.metrics.sp_ns);
         let mut path_route = |a: NodeId, b: NodeId| -> Result<Route, XarError> {
             sp_count += 1;
-            let p = sp.path(a, b).ok_or(XarError::NoRoute)?;
+            let p = {
+                let _sp_span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&sp_ns));
+                sp.path(a, b)
+            }
+            .ok_or(XarError::NoRoute)?;
             Route::from_path_result(graph, &p).ok_or(XarError::NoRoute)
         };
 

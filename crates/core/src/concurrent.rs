@@ -2,15 +2,20 @@
 //!
 //! XAR's defining workload is many cheap searches per expensive write
 //! (§I: "multi-modal trip planners have a high look-to-book ratio").
-//! [`SharedXarEngine`] maps that profile onto a `parking_lot::RwLock`:
+//! [`SharedXarEngine`] maps that profile onto a `std::sync::RwLock`:
 //! searches take the shared read lock and run fully concurrently, while
 //! create / book / track serialize on the write lock. Under a 480:1
 //! look-to-book ratio (the Go-LA estimate, §X.B.2) contention on the
 //! write path is negligible.
+//!
+//! Every operation records its lock **hold time** into the engine's
+//! metric registry (`lock.read_hold_ns` / `lock.write_hold_ns`), so the
+//! operational question "are writes starving the readers?" is
+//! answerable from a registry snapshot instead of a profiler.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use parking_lot::RwLock;
+use xar_obs::{Histogram, SpanTimer};
 
 use crate::booking::BookingOutcome;
 use crate::engine::XarEngine;
@@ -23,43 +28,64 @@ use crate::search::RideMatch;
 #[derive(Clone)]
 pub struct SharedXarEngine {
     inner: Arc<RwLock<XarEngine>>,
+    read_hold_ns: Arc<Histogram>,
+    write_hold_ns: Arc<Histogram>,
 }
 
 impl SharedXarEngine {
     /// Wrap an engine.
     pub fn new(engine: XarEngine) -> Self {
-        Self { inner: Arc::new(RwLock::new(engine)) }
+        let registry = engine.metrics().registry();
+        let read_hold_ns = registry.histogram("lock.read_hold_ns");
+        let write_hold_ns = registry.histogram("lock.write_hold_ns");
+        Self { inner: Arc::new(RwLock::new(engine)), read_hold_ns, write_hold_ns }
+    }
+
+    fn read(&self) -> (RwLockReadGuard<'_, XarEngine>, SpanTimer) {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        (guard, SpanTimer::new(Arc::clone(&self.read_hold_ns)))
+    }
+
+    fn write(&self) -> (RwLockWriteGuard<'_, XarEngine>, SpanTimer) {
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        (guard, SpanTimer::new(Arc::clone(&self.write_hold_ns)))
     }
 
     /// Concurrent search (shared read lock).
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
-        self.inner.read().search(req, limit)
+        let (guard, _hold) = self.read();
+        guard.search(req, limit)
     }
 
     /// Exclusive ride creation.
     pub fn create_ride(&self, offer: &RideOffer) -> Result<RideId, XarError> {
-        self.inner.write().create_ride(offer)
+        let (mut guard, _hold) = self.write();
+        guard.create_ride(offer)
     }
 
     /// Exclusive booking.
     pub fn book(&self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
-        self.inner.write().book(m)
+        let (mut guard, _hold) = self.write();
+        guard.book(m)
     }
 
     /// Exclusive tracking advance for one ride.
     pub fn track_ride(&self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
-        self.inner.write().track_ride(id, now_s)
+        let (mut guard, _hold) = self.write();
+        guard.track_ride(id, now_s)
     }
 
     /// Exclusive tracking sweep over all rides.
     pub fn track_all(&self, now_s: f64) -> usize {
-        self.inner.write().track_all(now_s)
+        let (mut guard, _hold) = self.write();
+        guard.track_all(now_s)
     }
 
     /// Run a read-only closure against the engine (shared lock) — for
     /// stats, memory accounting, and inspection.
     pub fn with_read<R>(&self, f: impl FnOnce(&XarEngine) -> R) -> R {
-        f(&self.inner.read())
+        let (guard, _hold) = self.read();
+        f(&guard)
     }
 }
 
@@ -131,6 +157,12 @@ mod tests {
             assert!(searches >= 1_600);
             assert!(creates >= 20);
             assert!(e.ride_count() > 0);
+        });
+        // Lock hold times were recorded for both sides.
+        eng.with_read(|e| {
+            let reg = e.metrics().registry();
+            assert!(reg.histogram("lock.read_hold_ns").count() >= 1_600);
+            assert!(reg.histogram("lock.write_hold_ns").count() >= 40);
         });
     }
 

@@ -10,6 +10,7 @@ use xar_roadnet::{Route, ShortestPaths};
 
 use crate::error::XarError;
 use crate::index::{ClusterIndex, PotentialRide};
+use crate::metrics::EngineMetrics;
 use crate::ride::{PassCluster, Ride, RideId, RideOffer, RideStatus, ViaPoint};
 
 /// Tunables of the runtime unit.
@@ -119,13 +120,28 @@ pub struct XarEngine {
     index: ClusterIndex,
     next_id: u64,
     pub(crate) stats: EngineStats,
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl XarEngine {
     /// Create an engine over a pre-processed region.
     pub fn new(region: Arc<RegionIndex>, config: EngineConfig) -> Self {
+        Self::with_metrics(region, config, EngineMetrics::new())
+    }
+
+    /// Create an engine recording into caller-supplied metrics (for
+    /// sharing one registry across engines or with a bench harness).
+    pub fn with_metrics(region: Arc<RegionIndex>, config: EngineConfig, metrics: EngineMetrics) -> Self {
         let index = ClusterIndex::new(region.cluster_count());
-        Self { region, config, rides: HashMap::new(), index, next_id: 1, stats: EngineStats::default() }
+        Self {
+            region,
+            config,
+            rides: HashMap::new(),
+            index,
+            next_id: 1,
+            stats: EngineStats::default(),
+            metrics,
+        }
     }
 
     /// The region discretization the engine runs on.
@@ -150,6 +166,13 @@ impl XarEngine {
     #[inline]
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Latency and candidate-set telemetry (see [`EngineMetrics`] for
+    /// the metric names).
+    #[inline]
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 
     /// The ride with id `id`, if it exists and has not been retired.
@@ -177,6 +200,7 @@ impl XarEngine {
     /// detour limit, and inserts the ride into every such cluster's
     /// potential-rides lists.
     pub fn create_ride(&mut self, offer: &RideOffer) -> Result<RideId, XarError> {
+        let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.create_ns));
         if !(offer.detour_limit_m.is_finite() && offer.detour_limit_m >= 0.0) {
             return Err(XarError::InvalidRequest("detour limit must be non-negative"));
         }
@@ -203,7 +227,11 @@ impl XarEngine {
         let mut route: Option<Route> = None;
         for w in stop_nodes.windows(2) {
             self.stats.shortest_paths.fetch_add(1, Ordering::Relaxed);
-            let path = sp.path(w[0], w[1]).ok_or(XarError::NoRoute)?;
+            let path = {
+                let _sp_span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.sp_ns));
+                sp.path(w[0], w[1])
+            }
+            .ok_or(XarError::NoRoute)?;
             let leg = Route::from_path_result(self.region.graph(), &path).ok_or(XarError::NoRoute)?;
             route = Some(match route {
                 None => leg,

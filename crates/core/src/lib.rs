@@ -18,7 +18,39 @@
 //!   clusters that are no longer servable) obsolete, and removing the
 //!   ride from the potential lists of clusters it can no longer serve.
 //!
-//! The entry point is [`engine::XarEngine`].
+//! The entry point is [`engine::XarEngine`]. All four operations are
+//! instrumented through [`metrics::EngineMetrics`] (an `xar-obs`
+//! registry), so latency percentiles come for free:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xar_core::{EngineConfig, RideOffer, XarEngine};
+//! use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+//! use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig};
+//!
+//! let graph = Arc::new(CityConfig::test_city(3).generate());
+//! let pois = sample_pois(&graph, &PoiConfig { count: 200, ..Default::default() });
+//! let region = Arc::new(RegionIndex::build(
+//!     Arc::clone(&graph),
+//!     &pois,
+//!     RegionConfig { cluster_goal: ClusterGoal::Delta(250.0), ..Default::default() },
+//! ));
+//!
+//! let mut engine = XarEngine::new(region, EngineConfig::default());
+//! let n = graph.node_count() as u32;
+//! engine
+//!     .create_ride(&RideOffer::simple(
+//!         graph.point(NodeId(0)),
+//!         graph.point(NodeId(n - 1)),
+//!         8.0 * 3600.0,
+//!         3,
+//!         2_500.0,
+//!     ))
+//!     .unwrap();
+//! // The create was timed into the engine's metrics registry.
+//! let reg = engine.metrics().registry();
+//! assert_eq!(reg.histogram("engine.create_ns").count(), 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -27,6 +59,7 @@ pub mod concurrent;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod metrics;
 pub mod request;
 pub mod ride;
 pub mod search;
@@ -38,6 +71,7 @@ pub use concurrent::SharedXarEngine;
 pub use engine::{EngineConfig, EngineStats, XarEngine};
 pub use error::XarError;
 pub use index::ClusterIndex;
+pub use metrics::EngineMetrics;
 pub use request::RideRequest;
 pub use ride::{Ride, RideId, RideOffer, RideStatus, RiderId};
 pub use search::RideMatch;

@@ -1,0 +1,98 @@
+//! Per-engine telemetry: cached metric handles over an `xar-obs`
+//! registry.
+//!
+//! Every [`crate::engine::XarEngine`] owns one [`EngineMetrics`]. The
+//! handles are `Arc`s resolved once at engine construction, so the hot
+//! paths (search / create / book / track) never touch the registry's
+//! lock — recording is a handful of relaxed atomic operations.
+//!
+//! Metric names (all under the engine's own registry):
+//!
+//! | name | type | unit |
+//! |------|------|------|
+//! | `engine.search_ns` | histogram | ns per search call |
+//! | `engine.create_ns` | histogram | ns per ride creation |
+//! | `engine.book_ns` | histogram | ns per booking |
+//! | `engine.track_ns` | histogram | ns per tracking advance |
+//! | `engine.search_candidates` | histogram | rides in the R1 candidate set per search |
+//! | `engine.sp_ns` | histogram | ns per shortest-path computation (create/book only) |
+//! | `lock.read_hold_ns` | histogram | read-lock hold time (`SharedXarEngine`) |
+//! | `lock.write_hold_ns` | histogram | write-lock hold time (`SharedXarEngine`) |
+
+use std::sync::Arc;
+
+use xar_obs::{Histogram, Registry};
+
+/// Cached metric handles for one engine instance.
+#[derive(Clone)]
+pub struct EngineMetrics {
+    registry: Arc<Registry>,
+    /// End-to-end search latency, nanoseconds.
+    pub search_ns: Arc<Histogram>,
+    /// End-to-end ride-creation latency, nanoseconds.
+    pub create_ns: Arc<Histogram>,
+    /// End-to-end booking latency, nanoseconds.
+    pub book_ns: Arc<Histogram>,
+    /// End-to-end tracking-advance latency, nanoseconds.
+    pub track_ns: Arc<Histogram>,
+    /// Candidate-set size (distinct rides surviving the R1 source-side
+    /// range queries) per search.
+    pub search_candidates: Arc<Histogram>,
+    /// Per shortest-path computation latency during create/book,
+    /// nanoseconds.
+    pub sp_ns: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    /// Fresh metrics over a new private registry.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Metrics recording into an existing registry (so several engines,
+    /// or an engine plus its baseline, can share one snapshot).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let search_ns = registry.histogram("engine.search_ns");
+        let create_ns = registry.histogram("engine.create_ns");
+        let book_ns = registry.histogram("engine.book_ns");
+        let track_ns = registry.histogram("engine.track_ns");
+        let search_candidates = registry.histogram("engine.search_candidates");
+        let sp_ns = registry.histogram("engine.sp_ns");
+        Self { registry, search_ns, create_ns, book_ns, track_ns, search_candidates, sp_ns }
+    }
+
+    /// The registry backing these handles (snapshot / JSON export).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_registry() {
+        let m = EngineMetrics::new();
+        m.search_ns.record(1_000);
+        let json = m.registry().snapshot_json();
+        assert!(json.contains("\"engine.search_ns\""), "{json}");
+        assert!(json.contains("\"engine.book_ns\""), "{json}");
+    }
+
+    #[test]
+    fn shared_registry_merges_metrics() {
+        let reg = Arc::new(Registry::new());
+        let a = EngineMetrics::with_registry(Arc::clone(&reg));
+        let b = EngineMetrics::with_registry(Arc::clone(&reg));
+        a.search_ns.record(10);
+        b.search_ns.record(20);
+        assert_eq!(reg.histogram("engine.search_ns").count(), 2);
+    }
+}

@@ -88,6 +88,7 @@ impl XarEngine {
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
         req.validate()?;
         self.stats.searches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.search_ns));
         let region = self.region();
         let src_node = region.snap(&req.source);
         let dst_node = region.snap(&req.destination);
@@ -113,6 +114,7 @@ impl XarEngine {
                 });
             }
         }
+        self.metrics.search_candidates.record(r1.len() as u64);
         if r1.is_empty() {
             return Ok(vec![]);
         }

@@ -37,6 +37,7 @@ impl XarEngine {
     /// the method reports `RideStatus::Completed`.
     pub fn track_ride(&mut self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
         self.stats.tracks.fetch_add(1, Ordering::Relaxed);
+        let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.track_ns));
         let ride = self.rides_mut().get_mut(&id).ok_or(XarError::UnknownRide(id))?;
         if now_s <= ride.departure_s {
             return Ok(ride.status);

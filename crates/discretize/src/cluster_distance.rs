@@ -91,11 +91,11 @@ impl ClusterDistances {
         }
         let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(k);
         let chunk = k.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, rows) in dist.chunks_mut(chunk * k).enumerate() {
                 let sources = &sources;
                 let clusters_at_node = &clusters_at_node;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut node_dist = vec![f64::INFINITY; n_nodes];
                     let mut touched: Vec<u32> = Vec::new();
                     for (local, row) in rows.chunks_mut(k).enumerate() {
@@ -123,8 +123,7 @@ impl ClusterDistances {
                     }
                 });
             }
-        })
-        .expect("cluster-distance worker panicked");
+        });
         Self { k, dist }
     }
 

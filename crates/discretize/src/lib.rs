@@ -27,6 +27,19 @@
 //!   (closest landmark pair, §VI);
 //! * [`region`] — the [`region::RegionIndex`]: the one-shot
 //!   pre-processing pipeline producing everything the runtime needs.
+//!
+//! ```
+//! use xar_discretize::greedy_search::greedy_search;
+//! use xar_discretize::kcenter::FnMetric;
+//!
+//! // Ten landmarks on a line, 1.0 apart; inter-landmark threshold δ = 2.
+//! let metric = FnMetric::new(10, |i, j| (i as f64 - j as f64).abs());
+//! let out = greedy_search(&metric, 2.0);
+//! // Theorem 6 bicriteria guarantee: no more clusters than OPT needs,
+//! // with every cluster diameter at most 4δ.
+//! assert!(out.clustering.k <= 10);
+//! assert!(out.clustering.max_diameter(&metric) <= 4.0 * 2.0);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -3,8 +3,8 @@
 //! The XAR in-memory index "stores information about the discretization
 //! of the city such as grids, landmarks, clusters, **distances between
 //! landmarks**, etc." (§III). This module computes that table: one
-//! Dijkstra per landmark over the road graph (parallelised with
-//! crossbeam), stored as a dense `n x n` matrix of `f32` metres.
+//! Dijkstra per landmark over the road graph (parallelised with scoped
+//! threads), stored as a dense `n x n` matrix of `f32` metres.
 //!
 //! One-way streets make raw driving distance a *quasi*-metric
 //! (asymmetric). The clustering theory (metric k-center, Theorem 6's
@@ -42,10 +42,10 @@ impl LandmarkMetric {
         }
         let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n);
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, rows) in dist.chunks_mut(chunk * n).enumerate() {
                 let nodes = &nodes;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let sp = ShortestPaths::new(graph, CostMetric::Distance, Direction::Forward);
                     for (local, row) in rows.chunks_mut(n).enumerate() {
                         let i = t * chunk + local;
@@ -56,8 +56,7 @@ impl LandmarkMetric {
                     }
                 });
             }
-        })
-        .expect("metric worker panicked");
+        });
         Self { n, dist }
     }
 

@@ -8,7 +8,6 @@ use crate::GeoPoint;
 /// ("if the region is a city, the entire city needs to be discretized",
 /// §III) and as the domain of the implicit grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoundingBox {
     /// South-west corner.
     pub min: GeoPoint,

@@ -17,7 +17,6 @@ use crate::{BoundingBox, GeoPoint, LocalProjection};
 /// Identifier of one cell of the implicit grid: `(column, row)` counted
 /// from the south-west corner of the region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridId {
     /// Column index (west → east).
     pub col: u32,

@@ -17,6 +17,20 @@
 //!   Definition 1: every point location maps to exactly one grid cell,
 //!   identified numerically from its latitude and longitude, and each
 //!   cell is represented by its centroid for all distance purposes.
+//!
+//! ```
+//! use xar_geo::{BoundingBox, GeoPoint, GridSpec};
+//!
+//! let a = GeoPoint::new(40.7580, -73.9855); // Times Square
+//! let b = GeoPoint::new(40.7484, -73.9857); // Empire State Building
+//! assert!((a.haversine_m(&b) - 1_067.0).abs() < 10.0);
+//!
+//! // Definition 1: a 100 m implicit grid; every point maps to one
+//! // cell, represented by its centroid.
+//! let grid = GridSpec::new(BoundingBox::new(b, a).expanded(0.01), 100.0);
+//! let cell = grid.grid_of(&a);
+//! assert!(grid.centroid(cell).haversine_m(&a) < 100.0);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -8,7 +8,6 @@ use crate::EARTH_RADIUS_M;
 /// given by a latitude and a longitude can be uniquely mapped to a grid,
 /// then a landmark and finally a cluster" (§IV).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north. Valid range `[-90, 90]`.
     pub lat: f64,

@@ -13,6 +13,14 @@
 //!   enhanced plan with fewer hops and/or less travel time.
 //! * [`metrics`] — the look-to-book arithmetic of §X.B.2 (the Go-LA
 //!   estimate) and the Figure 6 per-mode quality aggregates.
+//!
+//! ```
+//! use xar_mmtp::look_to_book_ratio;
+//!
+//! // The paper's Go-LA estimate (§X.B.2): 8 plans per request, 3 hops
+//! // per plan, 1-in-10 adoption → 480 searches per booking.
+//! assert_eq!(look_to_book_ratio(8, 3, 0.1), 480.0);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,206 @@
+//! A tiny, dependency-free JSON writer.
+//!
+//! Sibling crates use this to emit reports (`Registry::snapshot_json`,
+//! the workload simulator's `--metrics-out` dump) without a serde
+//! dependency. The writer tracks nesting and comma placement; keys are
+//! written in the order given, so callers control determinism.
+//!
+//! ```
+//! use xar_obs::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.key("name");
+//! w.string("xar");
+//! w.key("values");
+//! w.begin_array();
+//! w.number_u64(1);
+//! w.number_f64(2.5);
+//! w.end_array();
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"xar","values":[1,2.5]}"#);
+//! ```
+
+/// Streaming JSON writer with automatic comma handling.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Per nesting level: whether a value has already been written at
+    /// this level (so the next one needs a comma).
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self { buf: String::with_capacity(256), needs_comma: Vec::new() }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.buf.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Write an object key (call between `begin_object`/`end_object`,
+    /// immediately before the value).
+    pub fn key(&mut self, name: &str) {
+        self.pre_value();
+        write_escaped(&mut self.buf, name);
+        self.buf.push(':');
+        // The following value must not emit another comma.
+        if let Some(top) = self.needs_comma.last_mut() {
+            *top = false;
+        }
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, v: &str) {
+        self.pre_value();
+        write_escaped(&mut self.buf, v);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn number_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Write a signed integer value.
+    pub fn number_i64(&mut self, v: i64) {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Write a float value (non-finite values become `null`).
+    pub fn number_f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Write a boolean value.
+    pub fn boolean(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Write `null`.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.buf.push_str("null");
+    }
+
+    /// Splice pre-serialized JSON in as one value. The caller is
+    /// responsible for `json` being a single well-formed JSON value
+    /// (e.g. the output of another writer's `finish`).
+    pub fn raw(&mut self, json: &str) {
+        self.pre_value();
+        self.buf.push_str(json);
+    }
+
+    /// Consume the writer, returning the JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if objects or arrays are still open.
+    pub fn finish(self) -> String {
+        assert!(self.needs_comma.is_empty(), "unbalanced JSON writer");
+        self.buf
+    }
+}
+
+/// Append `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.number_u64(1);
+        w.key("b");
+        w.begin_object();
+        w.key("c");
+        w.begin_array();
+        w.number_i64(-2);
+        w.boolean(true);
+        w.null();
+        w.end_array();
+        w.end_object();
+        w.key("d");
+        w.number_f64(0.5);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":{"c":[-2,true,null]},"d":0.5}"#);
+    }
+
+    #[test]
+    fn escapes() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.number_f64(f64::NAN);
+        w.number_f64(f64::INFINITY);
+        w.number_f64(1.25);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,1.25]");
+    }
+}

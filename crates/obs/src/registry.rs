@@ -1,0 +1,277 @@
+//! The named-metric registry.
+//!
+//! A [`Registry`] hands out `Arc` handles to counters, gauges and
+//! histograms. Hot paths clone the handle once at setup and then
+//! record through relaxed atomics — the registry lock is only touched
+//! at registration and snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::JsonWriter;
+
+/// A monotonically increasing relaxed atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add to the value (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One metric's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram percentile summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named-metric table: counters, gauges and histograms keyed by a
+/// dotted name (convention: `<subsystem>.<metric>_<unit>`, e.g.
+/// `engine.search_ns`).
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("metrics", &self.lock_read().len()).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.lock_read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.lock_write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.lock_read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.lock_write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.lock_read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.lock_write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        self.lock_read()
+            .iter()
+            .map(|(name, m)| {
+                let snap = match m {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Snapshot every metric as a deterministic JSON object.
+    ///
+    /// Schema: `{"<name>": <u64>}` for counters, `{"<name>": <i64>}`
+    /// for gauges, and for histograms
+    /// `{"<name>": {"count":u64,"sum":u64,"mean":f64,"p50":u64,
+    /// "p90":u64,"p99":u64,"max":u64}}`.
+    pub fn snapshot_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        for (name, snap) in self.snapshot() {
+            w.key(&name);
+            match snap {
+                MetricSnapshot::Counter(v) => w.number_u64(v),
+                MetricSnapshot::Gauge(v) => w.number_i64(v),
+                MetricSnapshot::Histogram(h) => write_hist_json(&mut w, &h),
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Write one histogram snapshot as a JSON object (shared with the
+/// simulator's report dump).
+pub(crate) fn write_hist_json(w: &mut JsonWriter, h: &HistogramSnapshot) {
+    w.begin_object();
+    w.key("count");
+    w.number_u64(h.count);
+    w.key("sum");
+    w.number_u64(h.sum);
+    w.key("mean");
+    w.number_f64(h.mean);
+    w.key("p50");
+    w.number_u64(h.p50);
+    w.key("p90");
+    w.number_u64(h.p90);
+    w.key("p99");
+    w.number_u64(h.p99);
+    w.key("max");
+    w.number_u64(h.max);
+    w.end_object();
+}
+
+/// The process-wide registry, for subsystems (like the road network's
+/// shortest-path engines) that have no natural owner to hang a
+/// registry off.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("ops");
+        let b = r.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("ops").get(), 3);
+        let g = r.gauge("depth");
+        g.set(-4);
+        g.add(1);
+        assert_eq!(r.gauge("depth").get(), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        let _ = r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b.count").add(7);
+        r.gauge("c.level").set(-1);
+        r.histogram("a.lat_ns").record(100);
+        let json = r.snapshot_json();
+        let a = json.find("\"a.lat_ns\"").expect("histogram present");
+        let b = json.find("\"b.count\":7").expect("counter present");
+        let c = json.find("\"c.level\":-1").expect("gauge present");
+        assert!(a < b && b < c, "keys not sorted: {json}");
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("test.global").inc();
+        assert!(global().counter("test.global").get() >= 1);
+    }
+}

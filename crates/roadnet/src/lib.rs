@@ -22,6 +22,19 @@
 //!   OSM extract, plus strong-connectivity repair.
 //! * [`poi`] — a seeded point-of-interest sampler standing in for the
 //!   Google Places landmark source.
+//!
+//! ```
+//! use xar_roadnet::{CityConfig, CostMetric, Direction, NodeId, ShortestPaths};
+//!
+//! let graph = CityConfig::test_city(7).generate();
+//! let sp = ShortestPaths::new(&graph, CostMetric::Distance, Direction::Forward);
+//! let n = graph.node_count() as u32;
+//! let path = sp.path(NodeId(0), NodeId(n - 1)).expect("city is strongly connected");
+//! // A road path is never shorter than the great-circle distance.
+//! let crow = graph.point(NodeId(0)).haversine_m(&graph.point(NodeId(n - 1)));
+//! assert!(path.dist_m >= crow - 1.0);
+//! assert_eq!(path.nodes.first(), Some(&NodeId(0)));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -23,6 +23,32 @@ use std::collections::BinaryHeap;
 
 use crate::graph::{Edge, NodeId, RoadGraph};
 
+/// Cached handles into the process-wide metric registry
+/// ([`xar_obs::global`]): one latency histogram per traversal entry
+/// point. `ShortestPaths` is a short-lived borrowed view constructed
+/// ad hoc all over the workspace, so there is no natural owner to hang
+/// a registry off — the global registry is the right home, and the
+/// `OnceLock` caching keeps the per-call cost to an `Arc` clone.
+mod sp_metrics {
+    use std::sync::{Arc, OnceLock};
+    use xar_obs::Histogram;
+
+    macro_rules! cached {
+        ($fn_name:ident, $metric:literal) => {
+            pub(super) fn $fn_name() -> Arc<Histogram> {
+                static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+                Arc::clone(H.get_or_init(|| xar_obs::global().histogram($metric)))
+            }
+        };
+    }
+
+    cached!(path_ns, "roadnet.sp_path_ns");
+    cached!(astar_ns, "roadnet.sp_astar_ns");
+    cached!(bounded_ns, "roadnet.sp_bounded_ns");
+    cached!(targets_ns, "roadnet.sp_targets_ns");
+    cached!(one_to_all_ns, "roadnet.sp_one_to_all_ns");
+}
+
 /// Pedestrian speed used to convert walking distances to times: 1.4 m/s
 /// (~5 km/h).
 pub const WALK_SPEED_MPS: f64 = 1.4;
@@ -158,6 +184,7 @@ impl<'g> ShortestPaths<'g> {
     /// Dijkstra from `src` to `dst` with early termination; `None` if
     /// unreachable.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<PathResult> {
+        let _span = xar_obs::SpanTimer::new(sp_metrics::path_ns());
         let n = self.graph.node_count();
         let mut dist = vec![f64::INFINITY; n];
         let mut prev = vec![u32::MAX; n];
@@ -187,6 +214,7 @@ impl<'g> ShortestPaths<'g> {
     /// heuristic (admissible for both metrics: road length ≥ crow-flies
     /// distance, travel time ≥ crow-flies distance / fastest speed).
     pub fn astar(&self, src: NodeId, dst: NodeId) -> Option<PathResult> {
+        let _span = xar_obs::SpanTimer::new(sp_metrics::astar_ns());
         let n = self.graph.node_count();
         let goal = self.graph.point(dst);
         // Fastest speed in the network bounds the time heuristic.
@@ -236,6 +264,7 @@ impl<'g> ShortestPaths<'g> {
     /// non-decreasing cost order. The source itself is included with
     /// cost 0.
     pub fn bounded_from(&self, src: NodeId, max_cost: f64) -> Vec<(NodeId, f64)> {
+        let _span = xar_obs::SpanTimer::new(sp_metrics::bounded_ns());
         let n = self.graph.node_count();
         let mut dist = vec![f64::INFINITY; n];
         let mut heap = BinaryHeap::new();
@@ -267,6 +296,7 @@ impl<'g> ShortestPaths<'g> {
         targets: &[NodeId],
         max_cost: f64,
     ) -> Vec<Option<f64>> {
+        let _span = xar_obs::SpanTimer::new(sp_metrics::targets_ns());
         let n = self.graph.node_count();
         let mut want = vec![false; n];
         let mut remaining = 0usize;
@@ -311,6 +341,7 @@ impl<'g> ShortestPaths<'g> {
     /// Full single-source Dijkstra: cost to every node (`INFINITY` when
     /// unreachable).
     pub fn one_to_all(&self, src: NodeId) -> Vec<f64> {
+        let _span = xar_obs::SpanTimer::new(sp_metrics::one_to_all_ns());
         let n = self.graph.node_count();
         let mut dist = vec![f64::INFINITY; n];
         let mut heap = BinaryHeap::new();

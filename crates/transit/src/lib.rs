@@ -14,6 +14,25 @@
 //! * [`router`] — an earliest-arrival multi-modal router (walk +
 //!   transit with transfers), the role OpenTripPlanner plays for the
 //!   paper.
+//!
+//! ```
+//! use xar_roadnet::{CityConfig, NodeId};
+//! use xar_transit::generate::generate_transit;
+//! use xar_transit::{TransitGenConfig, TransitRouter, WalkParams};
+//!
+//! let graph = CityConfig::test_city(11).generate();
+//! let net = generate_transit(&graph, &TransitGenConfig::default());
+//! assert!(net.stop_count() > 0);
+//!
+//! let router = TransitRouter::new(&graph, &net, WalkParams::default());
+//! let n = graph.node_count() as u32;
+//! let plan = router
+//!     .plan(&graph.point(NodeId(0)), &graph.point(NodeId(n - 1)), 8.0 * 3600.0)
+//!     .expect("connected city has a plan");
+//! // A plan's quality metrics (Figure 6) are internally consistent.
+//! assert!(plan.is_consistent());
+//! assert!(plan.walk_time_s() + plan.wait_time_s() <= plan.travel_time_s() + 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 

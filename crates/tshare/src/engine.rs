@@ -20,6 +20,7 @@ use xar_geo::{BoundingBox, GeoPoint, GridSpec};
 use xar_roadnet::{NodeId, NodeLocator, RoadGraph, Route, ShortestPaths};
 
 use crate::index::{CellEntry, GridTaxiIndex};
+use crate::metrics::TShareMetrics;
 use crate::taxi::{CellVisit, Taxi, TaxiId};
 
 /// How the feasibility check measures distances.
@@ -122,11 +123,18 @@ pub struct TShareEngine {
     index: GridTaxiIndex,
     next_id: u64,
     stats: TShareStats,
+    metrics: TShareMetrics,
 }
 
 impl TShareEngine {
     /// Create an engine over a road graph.
     pub fn new(graph: Arc<RoadGraph>, config: TShareConfig) -> Self {
+        Self::with_metrics(graph, config, TShareMetrics::new())
+    }
+
+    /// Create an engine recording into caller-supplied metrics (for
+    /// sharing one registry with the XAR engine under comparison).
+    pub fn with_metrics(graph: Arc<RoadGraph>, config: TShareConfig, metrics: TShareMetrics) -> Self {
         let bbox = BoundingBox::from_points(graph.node_ids().map(|n| graph.point(n)))
             .expect("non-empty graph")
             .expanded(1e-3);
@@ -141,7 +149,13 @@ impl TShareEngine {
             index: GridTaxiIndex::new(),
             next_id: 1,
             stats: TShareStats::default(),
+            metrics,
         }
+    }
+
+    /// Latency and candidate-set telemetry.
+    pub fn metrics(&self) -> &TShareMetrics {
+        &self.metrics
     }
 
     /// The underlying road graph.
@@ -186,6 +200,7 @@ impl TShareEngine {
         departure_s: f64,
         seats: u8,
     ) -> Option<TaxiId> {
+        let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.create_ns));
         let src = self.locator.nearest(&self.graph, &source).0;
         let dst = self.locator.nearest(&self.graph, &destination).0;
         self.stats.shortest_paths.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +275,7 @@ impl TShareEngine {
     /// makes T-Share's search cost grow with `k` (Figure 5a).
     pub fn search(&self, req: &TShareRequest, k: usize) -> Vec<TShareMatch> {
         self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.search_ns));
         if k == 0 {
             return vec![];
         }
@@ -333,11 +349,13 @@ impl TShareEngine {
                 {
                     out.push(m);
                     if out.len() >= k {
+                        self.metrics.search_candidates.record(checked.len() as u64);
                         return out;
                     }
                 }
             }
         }
+        self.metrics.search_candidates.record(checked.len() as u64);
         out
     }
 
@@ -394,6 +412,7 @@ impl TShareEngine {
     /// **Book** a match: splice the pick-up and drop-off into the
     /// route with fresh shortest paths and refresh the grid lists.
     pub fn book(&mut self, m: &TShareMatch) -> Option<f64> {
+        let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.book_ns));
         let taxi = self.taxis.get(&m.taxi)?;
         if taxi.seats_available == 0 {
             return None;
@@ -473,6 +492,7 @@ impl TShareEngine {
     /// Advance every taxi to `now_s`: drop passed cell entries, retire
     /// finished taxis. Returns the number retired.
     pub fn track_all(&mut self, now_s: f64) -> usize {
+        let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.track_ns));
         let ids: Vec<TaxiId> = self.taxis.keys().copied().collect();
         let mut retired = 0usize;
         for id in ids {

@@ -2,7 +2,7 @@
 //! state-of-the-art system the XAR paper benchmarks against.
 //!
 //! The original implementation is not public; like the paper's authors
-//! ("we implemented T-Share to resemble the description in [6]"), we
+//! ("we implemented T-Share to resemble the description in \[6\]"), we
 //! re-implement it from the published description, with the same
 //! adaptations the XAR paper applied for the comparison:
 //!
@@ -22,13 +22,39 @@
 //! * the matching loop is modified, as in the paper, to keep searching
 //!   until **all** (or the first `k`) matches are found rather than
 //!   stopping at the first.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xar_roadnet::{CityConfig, NodeId};
+//! use xar_tshare::engine::TShareRequest;
+//! use xar_tshare::{TShareConfig, TShareEngine};
+//!
+//! let graph = Arc::new(CityConfig::test_city(5).generate());
+//! let n = graph.node_count() as u32;
+//! let mut engine = TShareEngine::new(Arc::clone(&graph), TShareConfig::default());
+//! let taxi = engine
+//!     .create_taxi(graph.point(NodeId(0)), graph.point(NodeId(n - 1)), 8.0 * 3600.0, 3)
+//!     .expect("route exists");
+//! let matches = engine.search(
+//!     &TShareRequest {
+//!         pickup: graph.point(NodeId(0)),
+//!         dropoff: graph.point(NodeId(n - 1)),
+//!         window_start_s: 7.5 * 3600.0,
+//!         window_end_s: 9.0 * 3600.0,
+//!     },
+//!     5,
+//! );
+//! assert!(matches.iter().any(|m| m.taxi == taxi));
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod index;
+pub mod metrics;
 pub mod taxi;
 
 pub use engine::{DistanceMode, TShareConfig, TShareEngine, TShareMatch};
 pub use index::GridTaxiIndex;
+pub use metrics::TShareMetrics;
 pub use taxi::{Taxi, TaxiId};

@@ -65,6 +65,10 @@ impl RideBackend for XarBackend {
     fn track(&mut self, now_s: f64) {
         self.engine.track_all(now_s);
     }
+
+    fn registry(&self) -> Option<std::sync::Arc<xar_obs::Registry>> {
+        Some(self.engine.metrics().registry())
+    }
 }
 
 /// The T-Share baseline under simulation.
@@ -114,6 +118,10 @@ impl RideBackend for TShareBackend {
     fn track(&mut self, now_s: f64) {
         self.engine.track_all(now_s);
     }
+
+    fn registry(&self) -> Option<std::sync::Arc<xar_obs::Registry>> {
+        Some(self.engine.metrics().registry())
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +170,13 @@ mod tests {
         // XAR search never computes shortest paths.
         let (_, creates, bookings, _, sps) = backend.engine.stats().snapshot();
         assert!(sps <= creates + 4 * bookings, "search leaked shortest paths");
+        // The run's registry covers both the simulator phases and the
+        // engine internals.
+        let reg = report.registry.as_ref().expect("registry attached");
+        assert_eq!(reg.histogram("sim.search_ns").count(), report.looks);
+        assert_eq!(reg.histogram("engine.search_ns").count(), report.looks);
+        assert!(reg.histogram("engine.search_candidates").count() > 0);
+        assert!(report.to_json().contains("\"engine.create_ns\""));
     }
 
     #[test]

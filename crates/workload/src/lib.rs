@@ -19,6 +19,17 @@
 //! The simulation is generic over a [`sim::RideBackend`], so the same
 //! driver measures XAR and the T-Share baseline under identical
 //! workloads — the setup behind Figures 4 and 5.
+//!
+//! ```
+//! use xar_roadnet::CityConfig;
+//! use xar_workload::{generate_trips, TripGenConfig};
+//!
+//! let graph = CityConfig::test_city(42).generate();
+//! let trips = generate_trips(&graph, &TripGenConfig { count: 500, ..Default::default() });
+//! assert_eq!(trips.len(), 500);
+//! // Trips arrive time-sorted, ready for the replay protocol.
+//! assert!(trips.windows(2).all(|w| w[0].pickup_s <= w[1].pickup_s));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,9 +1,14 @@
 //! Simulation measurement reports.
 
-/// Everything one simulation run records: per-operation latencies and
-/// outcome counters. The figure harnesses aggregate these into the
-/// paper's series.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+use std::sync::Arc;
+
+use xar_obs::json::JsonWriter;
+use xar_obs::Registry;
+
+/// Everything one simulation run records: per-operation latencies,
+/// outcome counters, and the metric registry the run recorded into.
+/// The figure harnesses aggregate these into the paper's series.
+#[derive(Debug, Clone, Default)]
 pub struct SimReport {
     /// Wall-clock nanoseconds per search operation.
     pub search_ns: Vec<u64>,
@@ -33,6 +38,10 @@ pub struct SimReport {
     /// remaining detour *limit* (0 when the limit held) — the paper's
     /// "detour limit exceeded by at most ..." quantity.
     pub detour_excess_m: Vec<f64>,
+    /// The registry this run recorded into: per-phase `sim.*`
+    /// histograms, plus the backend's own metrics (`engine.*` /
+    /// `tshare.*` / `lock.*`) when the backend exposes its registry.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl SimReport {
@@ -78,6 +87,87 @@ impl SimReport {
         } else {
             self.search_ns.iter().sum::<u64>() as f64 / self.search_ns.len() as f64 / 1e6
         }
+    }
+
+    /// One human-readable line per simulation phase with registry-backed
+    /// percentiles, for operator-facing report output.
+    pub fn phase_summary(&self) -> Vec<String> {
+        let Some(reg) = &self.registry else { return Vec::new() };
+        ["sim.search_ns", "sim.book_ns", "sim.create_ns", "sim.track_ns"]
+            .iter()
+            .filter_map(|name| {
+                let h = reg.histogram(name);
+                (h.count() > 0).then(|| format!("{name}: {}", h.snapshot().format_ns()))
+            })
+            .collect()
+    }
+
+    /// The whole report as a JSON object (outcome counters, derived
+    /// rates, latency percentiles, quality distributions, and — under
+    /// `"metrics"` — the full registry snapshot when one is attached).
+    ///
+    /// The schema is documented in `EXPERIMENTS.md`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        for (key, v) in [
+            ("looks", self.looks),
+            ("matches_returned", self.matches_returned),
+            ("booked", self.booked),
+            ("created", self.created),
+            ("stale_matches", self.stale_matches),
+            ("unservable", self.unservable),
+        ] {
+            w.key(key);
+            w.number_u64(v);
+        }
+        w.key("share_rate");
+        w.number_f64(self.share_rate());
+        w.key("total_search_s");
+        w.number_f64(self.total_search_s());
+        w.key("total_create_s");
+        w.number_f64(self.total_create_s());
+        w.key("total_book_s");
+        w.number_f64(self.total_book_s());
+
+        let lat = |w: &mut JsonWriter, key: &str, ns: &[u64]| {
+            w.key(key);
+            w.begin_object();
+            w.key("count");
+            w.number_u64(ns.len() as u64);
+            for (q, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+                w.key(q);
+                w.number_f64(percentile_ns(ns, p));
+            }
+            w.key("max");
+            w.number_u64(ns.iter().copied().max().unwrap_or(0));
+            w.end_object();
+        };
+        lat(&mut w, "search_latency_ns", &self.search_ns);
+        lat(&mut w, "create_latency_ns", &self.create_ns);
+        lat(&mut w, "book_latency_ns", &self.book_ns);
+
+        let dist = |w: &mut JsonWriter, key: &str, vals: &[f64]| {
+            w.key(key);
+            w.begin_object();
+            w.key("count");
+            w.number_u64(vals.len() as u64);
+            for (q, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("max", 100.0)] {
+                w.key(q);
+                w.number_f64(percentile(vals, p));
+            }
+            w.end_object();
+        };
+        dist(&mut w, "detour_actual_m", &self.detour_actual_m);
+        dist(&mut w, "detour_excess_m", &self.detour_excess_m);
+        dist(&mut w, "walk_m", &self.walk_m);
+
+        if let Some(reg) = &self.registry {
+            w.key("metrics");
+            w.raw(&reg.snapshot_json());
+        }
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -161,5 +251,36 @@ mod tests {
         };
         assert!((r.total_search_s() - 0.004).abs() < 1e-12);
         assert!((r.mean_search_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_counters_and_metrics() {
+        let reg = Arc::new(Registry::new());
+        reg.histogram("sim.search_ns").record(1_000);
+        let r = SimReport {
+            looks: 5,
+            booked: 2,
+            created: 3,
+            search_ns: vec![500, 1_500],
+            registry: Some(reg),
+            ..Default::default()
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"looks\":5"), "{json}");
+        assert!(json.contains("\"share_rate\":0.4"), "{json}");
+        assert!(json.contains("\"metrics\":{"), "{json}");
+        assert!(json.contains("\"sim.search_ns\""), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn phase_summary_lists_only_recorded_phases() {
+        let reg = Arc::new(Registry::new());
+        reg.histogram("sim.search_ns").record(2_000);
+        let r = SimReport { registry: Some(reg), ..Default::default() };
+        let lines = r.phase_summary();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("sim.search_ns:"));
+        assert!(SimReport::default().phase_summary().is_empty());
     }
 }

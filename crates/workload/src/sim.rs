@@ -1,7 +1,10 @@
 //! The ride-sharing simulation framework of §X.A.2, generic over the
 //! system under test.
 
+use std::sync::Arc;
 use std::time::Instant;
+
+use xar_obs::Registry;
 
 use crate::report::SimReport;
 use crate::trips::Trip;
@@ -59,6 +62,13 @@ pub trait RideBackend {
     fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool;
     /// Advance the system clock (tracking sweep).
     fn track(&mut self, now_s: f64);
+    /// The backend's own metric registry, if it keeps one. When
+    /// present, [`run_simulation`] records its `sim.*` phase metrics
+    /// into the same registry, so one snapshot covers the whole stack
+    /// (simulator phases + engine internals + lock telemetry).
+    fn registry(&self) -> Option<Arc<Registry>> {
+        None
+    }
 }
 
 /// Outcome of one booking attempt.
@@ -92,11 +102,21 @@ pub fn run_simulation<B: RideBackend>(
     cfg: &SimConfig,
 ) -> SimReport {
     let mut report = SimReport::default();
+    // Phase histograms live in the backend's registry when it has one
+    // (so engine internals and simulator phases share a snapshot), in a
+    // private one otherwise.
+    let registry = backend.registry().unwrap_or_else(|| Arc::new(Registry::new()));
+    let search_h = registry.histogram("sim.search_ns");
+    let book_h = registry.histogram("sim.book_ns");
+    let create_h = registry.histogram("sim.create_ns");
+    let track_h = registry.histogram("sim.track_ns");
     let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
     for trip in trips {
         if let Some(every) = cfg.track_every_s {
             while trip.pickup_s >= next_track {
+                let t0 = Instant::now();
                 backend.track(next_track);
+                track_h.record(t0.elapsed().as_nanos() as u64);
                 next_track += every;
             }
         }
@@ -105,13 +125,17 @@ pub fn run_simulation<B: RideBackend>(
         for _ in 0..cfg.lookups_per_request {
             let t0 = Instant::now();
             let _ = backend.search(trip, cfg);
-            report.search_ns.push(t0.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed().as_nanos() as u64;
+            report.search_ns.push(ns);
+            search_h.record(ns);
             report.looks += 1;
         }
 
         let t0 = Instant::now();
         let matches = backend.search(trip, cfg);
-        report.search_ns.push(t0.elapsed().as_nanos() as u64);
+        let ns = t0.elapsed().as_nanos() as u64;
+        report.search_ns.push(ns);
+        search_h.record(ns);
         report.looks += 1;
         report.matches_returned += matches.len() as u64;
 
@@ -119,7 +143,9 @@ pub fn run_simulation<B: RideBackend>(
         for m in &matches {
             let t0 = Instant::now();
             let res = backend.book(m, cfg);
-            report.book_ns.push(t0.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed().as_nanos() as u64;
+            report.book_ns.push(ns);
+            book_h.record(ns);
             if let BookResult::Booked { actual_detour_m, estimated_detour_m, walk_m, budget_before_m } =
                 res
             {
@@ -136,7 +162,9 @@ pub fn run_simulation<B: RideBackend>(
         if !booked {
             let t0 = Instant::now();
             let ok = backend.create(trip, cfg);
-            report.create_ns.push(t0.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed().as_nanos() as u64;
+            report.create_ns.push(ns);
+            create_h.record(ns);
             if ok {
                 report.created += 1;
             } else {
@@ -144,6 +172,7 @@ pub fn run_simulation<B: RideBackend>(
             }
         }
     }
+    report.registry = Some(registry);
     report
 }
 

@@ -11,9 +11,12 @@
 //!
 //! xar simulate --region region.xarr [--trips N] [--seed S] [--k N]
 //!              [--walk M] [--window S] [--detour M] [--json FILE]
+//!              [--metrics-out FILE]
 //!     Run the paper's §X.A.2 ride-sharing simulation over a synthetic
-//!     taxi day and report outcome + latency statistics (optionally
-//!     dumping the raw report as JSON).
+//!     taxi day and report outcome + latency statistics. `--json` dumps
+//!     the full report (counters, percentiles, metrics) as JSON;
+//!     `--metrics-out` dumps just the metric-registry snapshot
+//!     (schema in EXPERIMENTS.md).
 //! ```
 
 use std::collections::HashMap;
@@ -65,7 +68,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE] [--metrics-out FILE]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -161,10 +164,19 @@ fn simulate(flags: &Flags) -> Result<(), String> {
         "runtime memory : {:.1} MiB",
         backend.engine.heap_bytes() as f64 / (1024.0 * 1024.0)
     );
+    for line in report.phase_summary() {
+        println!("phase          : {line}");
+    }
     if let Some(json) = flags.get_opt("json") {
-        let text = serde_json::to_string(&report).map_err(|e| e.to_string())?;
-        std::fs::write(json, text).map_err(|e| format!("cannot write {json}: {e}"))?;
+        std::fs::write(json, report.to_json())
+            .map_err(|e| format!("cannot write {json}: {e}"))?;
         println!("raw report     : {json}");
+    }
+    if let Some(path) = flags.get_opt("metrics-out") {
+        let registry = report.registry.as_ref().expect("simulation attaches a registry");
+        std::fs::write(path, registry.snapshot_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics        : {path}");
     }
     Ok(())
 }

@@ -1,0 +1,236 @@
+//! Vendored minimal benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! stands in for `criterion` with the API surface the workspace's
+//! benches use: [`Criterion::benchmark_group`] /
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both forms).
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples; the per-iteration median, mean, and
+//! min are printed. No plots, no statistics beyond that — enough to
+//! compare hot paths locally.
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default().sample_size(10);
+//! c.bench_function("shift", |b| b.iter(|| std::hint::black_box(1u64 << 7)));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on —
+/// every batch re-runs setup in this implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Collected per-iteration nanoseconds, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self { sample_size, samples_ns: Vec::new() }
+    }
+
+    /// Time `routine` repeatedly, recording per-iteration cost.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: aim for ~5 ms per sample.
+        let t0 = Instant::now();
+        let mut warmup_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let batch = ((0.005 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns.push(s.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up: one run.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let s = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(s.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(f64::total_cmp);
+        let n = self.samples_ns.len();
+        let median = self.samples_ns[n / 2];
+        let mean = self.samples_ns.iter().sum::<f64>() / n as f64;
+        let min = self.samples_ns[0];
+        println!(
+            "{name:<40} time: [median {} mean {} min {}] ({n} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accept (and ignore) the CLI arguments cargo-bench passes.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, sample_size: None }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_bench(name.into(), self.sample_size, f);
+    }
+}
+
+fn run_bench(name: String, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    b.report(&name);
+}
+
+/// A named collection of benchmarks with an optional sample-size
+/// override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(format!("  {}", name.into()), n, f);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group — supports both the positional and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+        });
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 1u64, |x| std::hint::black_box(x + 1), BatchSize::SmallInput);
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<T>` with a strategy-driven length (any
+/// `usize`-valued strategy works, typically a range like `0..32`).
+pub fn vec<S, L>(element: S, size: L) -> VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    VecStrategy { element, size }
+}
+
+/// Output of [`vec()`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S, L> Strategy for VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_lengths_follow_size_strategy() {
+        let mut rng = TestRng::for_test("collection::tests");
+        let s = vec(any::<u8>(), 2..7);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+}

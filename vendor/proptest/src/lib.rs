@@ -1,0 +1,224 @@
+//! Vendored miniature property-testing harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the subset of the `proptest` API the workspace's test
+//! suites use: the [`proptest!`] macro, strategies built from ranges,
+//! tuples, [`strategy::Strategy::prop_map`], [`prop_oneof!`],
+//! [`collection::vec()`] and [`strategy::any`], plus the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with its inputs printed,
+//!   which are reproducible from the fixed per-test seed;
+//! * **uniform sampling only** — no bias toward boundary values;
+//! * cases default to 64 per property (the real crate's 256 is mostly
+//!   spent feeding the shrinker we don't have). `PROPTEST_CASES`
+//!   overrides the count, `PROPTEST_SEED` the base seed.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // In a test suite this fn would also carry #[test].
+//!     fn addition_commutes(a in 0u32..1_000, b in 0u32..1_000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() { addition_commutes(); }
+//! ```
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` — it does not count
+    /// against the case budget.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Build a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Outcome type of a single generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Run a block of property tests. See the crate docs for the accepted
+/// grammar; it mirrors the real `proptest!` macro:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one zero-argument test fn per
+/// property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::case_count(config.cases);
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cases.saturating_add(config.max_global_rejects).max(64);
+            while passed < cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest {}: gave up after {} attempts ({} cases passed) — \
+                         prop_assume! rejects nearly every input",
+                        stringify!($name), attempts, passed
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                let __proptest_inputs = {
+                    #[allow(unused_mut)]
+                    let mut s = String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", &$arg));
+                    )*
+                    s
+                };
+                let outcome: $crate::TestCaseResult = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest {} failed after {} passing case(s): {}\n  inputs: {}",
+                        stringify!($name), passed, msg, __proptest_inputs
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => $crate::prop_assert!(
+                left == right,
+                "assertion failed: {:?} != {:?}", left, right
+            ),
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (left, right) => $crate::prop_assert!(
+                left == right,
+                "assertion failed: {:?} != {:?}: {}", left, right, format!($($fmt)*)
+            ),
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => $crate::prop_assert!(
+                left != right,
+                "assertion failed: {:?} == {:?}", left, right
+            ),
+        }
+    };
+}
+
+/// Discard the current case (it does not count against the budget)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` or unweighted `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,210 @@
+//! Value-generation strategies: the composable core of the harness.
+
+use std::marker::PhantomData;
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleRange, UniformSample};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy is just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for "any value of `T`" — uniform over the whole domain.
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform values over the entire domain of `T` (`bool`, the unsigned
+/// integers, `f64` in `[0, 1)`).
+pub fn any<T: UniformSample>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: UniformSample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random::<T>()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies (see [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positively weighted arm");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.random_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if roll < *w {
+                return arm.sample(rng);
+            }
+            roll -= *w;
+        }
+        unreachable!("roll exceeded total weight")
+    }
+}
+
+/// Half-open numeric ranges are strategies.
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Clone,
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Inclusive numeric ranges are strategies.
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Clone,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_map_union() {
+        let mut rng = TestRng::for_test("strategy::tests");
+        let s = (0u32..10, 0.0f64..1.0).prop_map(|(a, b)| (a, b));
+        for _ in 0..500 {
+            let (a, b) = s.sample(&mut rng);
+            assert!(a < 10);
+            assert!((0.0..1.0).contains(&b));
+        }
+        let u = Union::new(vec![(3, (0u32..5).boxed()), (1, (10u32..15).boxed())]);
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..2_000 {
+            let v = u.sample(&mut rng);
+            assert!(v < 5 || (10..15).contains(&v));
+            if v < 5 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(low > high, "3:1 weighting not respected ({low} vs {high})");
+        assert_eq!(Just(7u8).sample(&mut rng), 7);
+    }
+}

@@ -1,0 +1,64 @@
+//! Configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-property configuration, mirroring the real crate's field names.
+/// Carries more than one field (like the real crate) so the idiomatic
+/// `ProptestConfig { cases: N, ..Default::default() }` construction
+/// keeps a purpose.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per property.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections per passing
+    /// case (scaled by `cases`); mirrors the real crate's global-reject
+    /// budget.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64, max_global_rejects: 1_024 }
+    }
+}
+
+/// Resolve the effective case count: `PROPTEST_CASES` overrides the
+/// configured value.
+pub fn case_count(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+        .max(1)
+}
+
+/// The RNG driving a property: deterministic per test name so failures
+/// reproduce, perturbable with `PROPTEST_SEED`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test (pass `module_path!()::test_name`).
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, mixed with the optional user seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let user: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Self { inner: StdRng::seed_from_u64(h ^ user) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

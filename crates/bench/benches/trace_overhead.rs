@@ -1,0 +1,60 @@
+//! Micro-benchmark of the flight recorder's per-span cost.
+//!
+//! Three measurements frame the overhead story the design promises
+//! (DESIGN.md §5c):
+//!
+//! - `span_disabled` — `xar_obs::trace::span()` with the global
+//!   recorder off. This is the cost every instrumented hot path pays in
+//!   production when tracing is not requested: one relaxed atomic load
+//!   and a branch. It must stay within a small multiple of
+//!   `empty_loop`.
+//! - `empty_loop` — the `black_box` floor, for reference.
+//! - `request_enabled` — a full root + two children + attrs against a
+//!   private enabled recorder with default tail sampling, i.e. the cost
+//!   of an actively traced request (buffering into the thread-local,
+//!   verdict + publish on drop).
+//!
+//! The companion integration test (`crates/obs/tests/overhead.rs`)
+//! asserts the disabled path allocates nothing; this harness puts
+//! numbers on the same claim.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xar_obs::trace::Recorder;
+use xar_obs::TraceConfig;
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+
+    // The global recorder starts disabled; nothing here enables it.
+    assert!(!xar_obs::trace::recorder().enabled());
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| std::hint::black_box(xar_obs::trace::span("bench")))
+    });
+
+    group.bench_function("empty_loop", |b| b.iter(|| std::hint::black_box(0u64)));
+
+    // Enabled path: private recorder, default sampling (so most traces
+    // are discarded at the verdict — the steady-state trace cost).
+    let rec: Arc<Recorder> = Recorder::new(TraceConfig::default());
+    group.bench_function("request_enabled", |b| {
+        b.iter(|| {
+            let mut root = rec.start_root("request");
+            root.attr("k", 5u64);
+            {
+                let mut s = rec.child_span("search");
+                s.attr("candidates", 7u64);
+            }
+            {
+                let _s = rec.child_span("book");
+            }
+            std::hint::black_box(root)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use xar_bench::{fmt_time_s, header, row, scale_arg, BenchCity};
+use xar_bench::{fmt_time_s, header, row, scale_arg, trace_finish, trace_setup, BenchCity};
 use xar_core::{RideOffer, RideRequest};
 use xar_obs::Registry;
 use xar_tshare::engine::TShareRequest;
@@ -25,6 +25,7 @@ use xar_tshare::{DistanceMode, TShareConfig, TShareEngine};
 
 fn main() {
     let scale = scale_arg();
+    let trace = trace_setup();
     println!("# Figure 5a — search time vs k (T-Share in haversine mode, scale {scale})\n");
     println!("protocol: frozen 7-9am ride pool, identical for every k; p50/p99 from registry histograms\n");
     let city = BenchCity::standard();
@@ -101,6 +102,9 @@ fn main() {
                 window_end_s: q.pickup_s + 1_200.0,
                 walk_limit_m: 800.0,
             };
+            let mut troot = xar_obs::trace::root("request");
+            troot.attr("system", "xar");
+            troot.attr("k", k as u64);
             let t0 = Instant::now();
             let m = xar.search(&req, k);
             x_hist.record(t0.elapsed().as_nanos() as u64);
@@ -116,6 +120,9 @@ fn main() {
                 window_start_s: q.pickup_s,
                 window_end_s: q.pickup_s + 1_200.0,
             };
+            let mut troot = xar_obs::trace::root("request");
+            troot.attr("system", "tshare");
+            troot.attr("k", k as u64);
             let t0 = Instant::now();
             let m = tshare.search(&req, k);
             t_hist.record(t0.elapsed().as_nanos() as u64);
@@ -144,4 +151,5 @@ fn main() {
         tk / t1.max(1e-3),
         xk / x1.max(1e-3)
     );
+    trace_finish(trace);
 }

@@ -12,12 +12,13 @@
 
 use std::sync::Arc;
 
-use xar_bench::{fmt_time_s, header, row, scale_arg, BenchCity};
+use xar_bench::{fmt_time_s, header, row, scale_arg, trace_finish, trace_setup, BenchCity};
 use xar_tshare::{TShareConfig, TShareEngine};
 use xar_workload::{run_simulation, SimConfig, TShareBackend, XarBackend};
 
 fn main() {
     let scale = scale_arg();
+    let trace = trace_setup();
     println!("# Figure 5b — total query time vs look-to-book ratio r (scale {scale})\n");
     let city = BenchCity::standard();
     // Few requests: total work is requests * r searches.
@@ -79,4 +80,5 @@ fn main() {
         first_ratio.unwrap_or(f64::NAN),
         last_ratio.unwrap_or(f64::NAN)
     );
+    trace_finish(trace);
 }

@@ -92,6 +92,65 @@ impl BenchCity {
     }
 }
 
+/// Parse `--trace-out FILE` / `--trace-slow-ms F` / `--trace-sample P`
+/// from the CLI (fallbacks: `XAR_TRACE_OUT` / `XAR_TRACE_SLOW_MS` /
+/// `XAR_TRACE_SAMPLE`), configure and enable the global flight
+/// recorder, and return the output path. With no path anywhere the
+/// recorder stays disabled and `None` is returned — harnesses pay only
+/// the one-branch disabled check.
+pub fn trace_setup() -> Option<String> {
+    fn flag(args: &[String], name: &str) -> Option<String> {
+        let prefix = format!("{name}=");
+        let mut found = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == name {
+                found = it.next().cloned();
+            } else if let Some(v) = a.strip_prefix(&prefix) {
+                found = Some(v.to_string());
+            }
+        }
+        found
+    }
+    fn parsed<T: std::str::FromStr>(cli: Option<String>, env: &str) -> Option<T> {
+        cli.or_else(|| std::env::var(env).ok()).and_then(|v| v.parse().ok())
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out =
+        flag(&args, "--trace-out").or_else(|| std::env::var("XAR_TRACE_OUT").ok())?;
+    let slow_ms: f64 = parsed(flag(&args, "--trace-slow-ms"), "XAR_TRACE_SLOW_MS").unwrap_or(1.0);
+    let sample: f64 =
+        parsed(flag(&args, "--trace-sample"), "XAR_TRACE_SAMPLE").unwrap_or(0.01);
+    let rec = xar_obs::trace::recorder();
+    rec.configure(xar_obs::TraceConfig {
+        slow_threshold_ns: (slow_ms * 1e6).max(0.0) as u64,
+        sample_per_mille: (sample.clamp(0.0, 1.0) * 1000.0).round() as u32,
+        ..Default::default()
+    });
+    rec.set_enabled(true);
+    Some(out)
+}
+
+/// Counterpart of [`trace_setup`]: disable the recorder and write its
+/// Chrome trace-event export to the returned path (no-op on `None`).
+pub fn trace_finish(out: Option<String>) {
+    let Some(path) = out else { return };
+    let rec = xar_obs::trace::recorder();
+    rec.set_enabled(false);
+    let json = xar_obs::chrome::export_chrome(&rec.snapshot());
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            let st = rec.stats();
+            eprintln!(
+                "trace: {path} ({} of {} traces kept, {} events dropped)",
+                st.kept_traces, st.started_traces, st.dropped_events
+            );
+        }
+        Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+    }
+}
+
 /// Parse `--scale <f>` from the CLI (fallback: `XAR_BENCH_SCALE`, then
 /// 1.0).
 pub fn scale_arg() -> f64 {

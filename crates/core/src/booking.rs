@@ -9,8 +9,6 @@
 //! "such an update may render some of the earlier pass through and
 //! reachable clusters invalid".
 
-use std::sync::atomic::Ordering;
-
 use xar_roadnet::{NodeId, Route, ShortestPaths};
 
 use crate::engine::XarEngine;
@@ -52,6 +50,7 @@ impl XarEngine {
     /// route change.
     pub fn book(&mut self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
         let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.book_ns));
+        let mut tspan = xar_obs::trace::span("book");
         let region = std::sync::Arc::clone(self.region());
         let pickup_node = region.landmark(m.pickup_landmark).node;
         let dropoff_node = region.landmark(m.dropoff_landmark).node;
@@ -83,6 +82,7 @@ impl XarEngine {
             sp_count += 1;
             let p = {
                 let _sp_span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&sp_ns));
+                let _sp_trace = xar_obs::trace::span("shortest_path");
                 sp.path(a, b)
             }
             .ok_or(XarError::NoRoute)?;
@@ -162,7 +162,7 @@ impl XarEngine {
             vps.insert(pickup_seg + 1, ViaPoint { route_idx: pickup_idx, node: pickup_node });
             vps.insert(dropoff_seg + 2, ViaPoint { route_idx: dropoff_idx, node: dropoff_node });
         }
-        self.stats.shortest_paths.fetch_add(sp_count as u64, Ordering::Relaxed);
+        self.stats.shortest_paths.add(sp_count as u64);
         debug_assert!(vps.windows(2).all(|w| w[0].route_idx <= w[1].route_idx), "via-points out of order");
         debug_assert!(vps.iter().all(|v| new_route.nodes()[v.route_idx] == v.node));
 
@@ -196,7 +196,10 @@ impl XarEngine {
             let from = ride.progress_idx;
             XarEngine::index_ride(&region, &config, ride, index, from);
         });
-        self.stats.bookings.fetch_add(1, Ordering::Relaxed);
+        self.stats.bookings.inc();
+        tspan.attr("ride", m.ride.0);
+        tspan.attr("shortest_paths", sp_count);
+        tspan.attr("detour_m", actual_detour);
 
         Ok(BookingOutcome {
             ride: m.ride,

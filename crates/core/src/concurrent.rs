@@ -42,12 +42,18 @@ impl SharedXarEngine {
     }
 
     fn read(&self) -> (RwLockReadGuard<'_, XarEngine>, SpanTimer) {
-        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let guard = {
+            let _acq = xar_obs::trace::span("lock.read_acquire");
+            self.inner.read().unwrap_or_else(|e| e.into_inner())
+        };
         (guard, SpanTimer::new(Arc::clone(&self.read_hold_ns)))
     }
 
     fn write(&self) -> (RwLockWriteGuard<'_, XarEngine>, SpanTimer) {
-        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let guard = {
+            let _acq = xar_obs::trace::span("lock.write_acquire");
+            self.inner.write().unwrap_or_else(|e| e.into_inner())
+        };
         (guard, SpanTimer::new(Arc::clone(&self.write_hold_ns)))
     }
 

@@ -2,10 +2,10 @@
 //! engine state the search / booking / tracking operations act on.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use xar_discretize::{ClusterId, RegionIndex};
+use xar_obs::{Counter, Registry};
 use xar_roadnet::{Route, ShortestPaths};
 
 use crate::error::XarError;
@@ -40,30 +40,48 @@ impl Default for EngineConfig {
 }
 
 /// Operation counters (searches, creations, bookings, tracking calls).
-#[derive(Debug, Default)]
+///
+/// These are handles into the engine's metric registry (names
+/// `engine.searches` … `engine.shortest_paths`), so the counts appear
+/// in every registry snapshot / `--metrics-out` dump with no second
+/// bookkeeping path; [`EngineStats::snapshot`] is a thin reader over
+/// the same atomics.
+#[derive(Debug, Clone)]
 pub struct EngineStats {
-    /// Number of search operations served.
-    pub searches: AtomicU64,
-    /// Number of rides created.
-    pub creates: AtomicU64,
-    /// Number of bookings confirmed.
-    pub bookings: AtomicU64,
-    /// Number of tracking advances applied.
-    pub tracks: AtomicU64,
+    /// Number of search operations served (`engine.searches`).
+    pub searches: Arc<Counter>,
+    /// Number of rides created (`engine.creates`).
+    pub creates: Arc<Counter>,
+    /// Number of bookings confirmed (`engine.bookings`).
+    pub bookings: Arc<Counter>,
+    /// Number of tracking advances applied (`engine.tracks`).
+    pub tracks: Arc<Counter>,
     /// Total shortest-path computations performed (creation + booking —
-    /// never search).
-    pub shortest_paths: AtomicU64,
+    /// never search); `engine.shortest_paths`.
+    pub shortest_paths: Arc<Counter>,
 }
 
 impl EngineStats {
+    /// Resolve the counter handles from `registry` (get-or-create, so
+    /// engines sharing a registry share the counts).
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            searches: registry.counter("engine.searches"),
+            creates: registry.counter("engine.creates"),
+            bookings: registry.counter("engine.bookings"),
+            tracks: registry.counter("engine.tracks"),
+            shortest_paths: registry.counter("engine.shortest_paths"),
+        }
+    }
+
     /// Snapshot as `(searches, creates, bookings, tracks, shortest_paths)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
-            self.searches.load(Ordering::Relaxed),
-            self.creates.load(Ordering::Relaxed),
-            self.bookings.load(Ordering::Relaxed),
-            self.tracks.load(Ordering::Relaxed),
-            self.shortest_paths.load(Ordering::Relaxed),
+            self.searches.get(),
+            self.creates.get(),
+            self.bookings.get(),
+            self.tracks.get(),
+            self.shortest_paths.get(),
         )
     }
 }
@@ -133,13 +151,14 @@ impl XarEngine {
     /// sharing one registry across engines or with a bench harness).
     pub fn with_metrics(region: Arc<RegionIndex>, config: EngineConfig, metrics: EngineMetrics) -> Self {
         let index = ClusterIndex::new(region.cluster_count());
+        let stats = EngineStats::from_registry(&metrics.registry());
         Self {
             region,
             config,
             rides: HashMap::new(),
             index,
             next_id: 1,
-            stats: EngineStats::default(),
+            stats,
             metrics,
         }
     }
@@ -201,6 +220,7 @@ impl XarEngine {
     /// potential-rides lists.
     pub fn create_ride(&mut self, offer: &RideOffer) -> Result<RideId, XarError> {
         let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.create_ns));
+        let mut tspan = xar_obs::trace::span("create");
         if !(offer.detour_limit_m.is_finite() && offer.detour_limit_m >= 0.0) {
             return Err(XarError::InvalidRequest("detour limit must be non-negative"));
         }
@@ -226,9 +246,10 @@ impl XarEngine {
         let sp = ShortestPaths::driving(self.region.graph());
         let mut route: Option<Route> = None;
         for w in stop_nodes.windows(2) {
-            self.stats.shortest_paths.fetch_add(1, Ordering::Relaxed);
+            self.stats.shortest_paths.inc();
             let path = {
                 let _sp_span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.sp_ns));
+                let _sp_trace = xar_obs::trace::span("shortest_path");
                 sp.path(w[0], w[1])
             }
             .ok_or(XarError::NoRoute)?;
@@ -281,7 +302,9 @@ impl XarEngine {
         };
         Self::index_ride(&self.region, &self.config, &mut ride, &mut self.index, 0);
         self.rides.insert(id, ride);
-        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        self.stats.creates.inc();
+        tspan.attr("ride", id.0);
+        tspan.attr("legs", stop_nodes.len() as u64 - 1);
         Ok(id)
     }
 
@@ -299,6 +322,7 @@ impl XarEngine {
         index: &mut ClusterIndex,
         from_idx: usize,
     ) {
+        let _tspan = xar_obs::trace::span("index_ride");
         let nodes = ride.route.nodes();
         // Run-length scan: maximal runs of way-points mapping to the
         // same cluster become pass-through clusters.

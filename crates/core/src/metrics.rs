@@ -18,6 +18,8 @@
 //! | `engine.sp_ns` | histogram | ns per shortest-path computation (create/book only) |
 //! | `lock.read_hold_ns` | histogram | read-lock hold time (`SharedXarEngine`) |
 //! | `lock.write_hold_ns` | histogram | write-lock hold time (`SharedXarEngine`) |
+//! | `engine.searches` / `creates` / `bookings` / `tracks` | counter | operation counts ([`crate::engine::EngineStats`]) |
+//! | `engine.shortest_paths` | counter | shortest-path computations (create/book — never search) |
 
 use std::sync::Arc;
 

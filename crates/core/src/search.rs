@@ -87,8 +87,9 @@ impl XarEngine {
     /// will not be served" (§IV).
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
         req.validate()?;
-        self.stats.searches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.searches.inc();
         let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.search_ns));
+        let mut tspan = xar_obs::trace::span("search");
         let region = self.region();
         let src_node = region.snap(&req.source);
         let dst_node = region.snap(&req.destination);
@@ -104,17 +105,25 @@ impl XarEngine {
         // this stays linear in practice) — greedy per-side pruning can
         // discard the only *jointly* feasible combination.
         let mut r1: HashMap<RideId, Vec<SideHit>> = HashMap::new();
-        for w in src_walkable {
-            for entry in self.index().range_eta(w.cluster, req.window_start_s, req.window_end_s) {
-                r1.entry(entry.ride).or_default().push(SideHit {
-                    cluster: w.cluster,
-                    landmark: w.landmark,
-                    walk_m: f64::from(w.walk_m),
-                    entry: *entry,
-                });
+        {
+            let mut espan = xar_obs::trace::span("enumerate_src");
+            for w in src_walkable {
+                for entry in
+                    self.index().range_eta(w.cluster, req.window_start_s, req.window_end_s)
+                {
+                    r1.entry(entry.ride).or_default().push(SideHit {
+                        cluster: w.cluster,
+                        landmark: w.landmark,
+                        walk_m: f64::from(w.walk_m),
+                        entry: *entry,
+                    });
+                }
             }
+            espan.attr("clusters", src_walkable.len());
+            espan.attr("candidates", r1.len());
         }
         self.metrics.search_candidates.record(r1.len() as u64);
+        tspan.attr("candidates", r1.len());
         if r1.is_empty() {
             return Ok(vec![]);
         }
@@ -123,19 +132,24 @@ impl XarEngine {
         // time after the window opens; the pick-up-before-drop-off
         // ordering is enforced per pair below.
         let mut r2: HashMap<RideId, Vec<SideHit>> = HashMap::new();
-        for w in dst_walkable {
-            for entry in self.index().range_eta(w.cluster, req.window_start_s, f64::INFINITY) {
-                // Cheap pre-filter: only rides already in R1 matter.
-                if !r1.contains_key(&entry.ride) {
-                    continue;
+        {
+            let mut espan = xar_obs::trace::span("enumerate_dst");
+            for w in dst_walkable {
+                for entry in self.index().range_eta(w.cluster, req.window_start_s, f64::INFINITY) {
+                    // Cheap pre-filter: only rides already in R1 matter.
+                    if !r1.contains_key(&entry.ride) {
+                        continue;
+                    }
+                    r2.entry(entry.ride).or_default().push(SideHit {
+                        cluster: w.cluster,
+                        landmark: w.landmark,
+                        walk_m: f64::from(w.walk_m),
+                        entry: *entry,
+                    });
                 }
-                r2.entry(entry.ride).or_default().push(SideHit {
-                    cluster: w.cluster,
-                    landmark: w.landmark,
-                    walk_m: f64::from(w.walk_m),
-                    entry: *entry,
-                });
             }
+            espan.attr("clusters", dst_walkable.len());
+            espan.attr("candidates", r2.len());
         }
 
         // Intersection + final feasibility checks: per ride, the best
@@ -210,6 +224,7 @@ impl XarEngine {
                 .then(a.ride.cmp(&b.ride))
         });
         out.truncate(limit);
+        tspan.attr("matches", out.len());
         Ok(out)
     }
 }

@@ -19,7 +19,6 @@
 //!    pass-through list.
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 
 use xar_discretize::ClusterId;
 
@@ -36,8 +35,10 @@ impl XarEngine {
     /// disappears from the index and from the engine's ride table, and
     /// the method reports `RideStatus::Completed`.
     pub fn track_ride(&mut self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
-        self.stats.tracks.fetch_add(1, Ordering::Relaxed);
+        self.stats.tracks.inc();
         let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.track_ns));
+        let mut tspan = xar_obs::trace::span("track");
+        tspan.attr("ride", id.0);
         let ride = self.rides_mut().get_mut(&id).ok_or(XarError::UnknownRide(id))?;
         if now_s <= ride.departure_s {
             return Ok(ride.status);

@@ -15,8 +15,12 @@
 //!   deterministic [`Registry::snapshot_json`] export.
 //! * [`SpanTimer`] — RAII timers recording elapsed nanoseconds into a
 //!   histogram on drop.
-//! * [`json`] — the tiny JSON writer behind `snapshot_json`, public so
-//!   sibling crates emit reports without a serde dependency.
+//! * [`json`] — the tiny JSON writer behind `snapshot_json` (and a
+//!   matching reader for the trace tooling), public so sibling crates
+//!   emit reports without a serde dependency.
+//! * [`trace`] — a bounded flight recorder for request-scoped causal
+//!   span timelines with tail sampling; [`chrome`] exports its
+//!   snapshots as Perfetto-loadable Chrome trace-event JSON.
 //!
 //! ```
 //! use xar_obs::Registry;
@@ -36,11 +40,14 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{global, Counter, Gauge, MetricSnapshot, Registry};
 pub use span::SpanTimer;
+pub use trace::{AttrList, AttrValue, Recorder, TraceConfig, TraceCtx};

@@ -1,0 +1,100 @@
+//! Overhead guard for the flight recorder's disabled path.
+//!
+//! The contract (DESIGN.md §5c): with the global recorder disabled —
+//! its startup state — every `trace::span()` / `trace::root()` /
+//! `trace::instant()` call is one relaxed atomic load plus a branch.
+//! In particular it must never allocate, or the "free when off"
+//! promise silently rots. A counting global allocator makes that
+//! claim a hard test, and a coarse wall-clock bound keeps the cost
+//! within a small multiple of an empty `black_box` loop.
+//!
+//! This lives in its own integration binary because the
+//! `#[global_allocator]` would otherwise count every other test's
+//! allocations, and because the global recorder must stay untouched
+//! (unit tests elsewhere enable private recorders only).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator with an allocation counter bolted on.
+struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+static ALLOCS: CountingAlloc = CountingAlloc { allocs: AtomicU64::new(0) };
+
+#[global_allocator]
+static GLOBAL: &CountingAlloc = &ALLOCS;
+
+unsafe impl GlobalAlloc for &'static CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+const ITERS: u64 = 1_000_000;
+
+#[test]
+fn disabled_path_is_allocation_free_and_cheap() {
+    // The global recorder starts disabled; this test never enables it.
+    assert!(!xar_obs::trace::recorder().enabled());
+
+    // Warm up: the first call initialises the recorder OnceLock and the
+    // thread-locals, which may allocate once.
+    {
+        let _s = xar_obs::trace::span("warmup");
+        xar_obs::trace::instant("warmup", xar_obs::AttrList::new());
+    }
+
+    // Baseline: empty black_box loop.
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        black_box(i);
+    }
+    let empty_ns = t0.elapsed().as_nanos().max(1) as u64;
+
+    // 1M disabled spans + instants: zero allocations.
+    let before = ALLOCS.allocs.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        let s = xar_obs::trace::span("bench");
+        black_box(&s);
+        black_box(i);
+    }
+    let span_ns = t0.elapsed().as_nanos().max(1) as u64;
+    for _ in 0..ITERS {
+        xar_obs::trace::instant("bench", xar_obs::AttrList::new());
+    }
+    let after = ALLOCS.allocs.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled trace::span/instant allocated {} times over {} iterations",
+        after - before,
+        2 * ITERS,
+    );
+
+    // Timing guard, deliberately loose (CI machines are noisy; debug
+    // builds do not inline the disabled check). The point is to catch a
+    // regression that makes the disabled path do real work — a lock, a
+    // syscall, a clock read — not to benchmark it; the criterion
+    // harness (`cargo bench -p xar-bench --bench trace_overhead`) does
+    // the precise measurement.
+    let factor = if cfg!(debug_assertions) { 400 } else { 50 };
+    assert!(
+        span_ns < empty_ns.saturating_mul(factor),
+        "disabled span loop took {span_ns} ns vs empty loop {empty_ns} ns (> {factor}x)",
+    );
+
+    // And nothing was recorded.
+    let stats = xar_obs::trace::recorder().stats();
+    assert_eq!(stats.started_traces, 0);
+    assert_eq!(stats.kept_traces, 0);
+}

@@ -1,0 +1,169 @@
+//! Property tests for the flight recorder and its Chrome export.
+//!
+//! Three laws, each over randomized trace shapes:
+//!
+//! 1. **Conservation** — however small the ring and whatever the
+//!    per-trace shapes, every published event is either still in the
+//!    ring or counted in `dropped_events`. Wrap-around loses data by
+//!    design, never accounting.
+//! 2. **Per-thread monotonicity** — events that share a thread lane
+//!    carry non-decreasing timestamps, so Chrome's per-tid `B`/`E`
+//!    stack discipline can always be replayed.
+//! 3. **Export round-trip** — `export_chrome` → `parse_chrome` →
+//!    `Timeline::build` reconstructs exactly the nesting that was
+//!    recorded: every `B` has its `E`, durations are non-negative, and
+//!    children lie inside their parents.
+
+use proptest::prelude::*;
+use xar_obs::chrome::{export_chrome, parse_chrome, SpanNode, Timeline};
+use xar_obs::trace::Recorder;
+use xar_obs::TraceConfig;
+
+/// Record one trace per shape entry: each `shape[i]` child spans, each
+/// child with `shape[i] % 3` nested grandchildren.
+fn record_traces(rec: &std::sync::Arc<Recorder>, shapes: &[Vec<usize>]) {
+    for shape in shapes {
+        let mut root = rec.start_root("request");
+        root.attr("children", shape.len() as u64);
+        for &grands in shape {
+            let mut child = rec.child_span("child");
+            child.attr("grands", grands as u64);
+            for _ in 0..grands {
+                let _g = rec.child_span("grand");
+            }
+        }
+    }
+}
+
+/// Conceptual event count for a shape: root B/E + B/E per span.
+fn conceptual_events(shapes: &[Vec<usize>]) -> usize {
+    shapes
+        .iter()
+        .map(|s| 2 + s.iter().map(|&g| 2 + 2 * g).sum::<usize>())
+        .sum()
+}
+
+proptest! {
+    /// Law 1: ring contents + dropped counter account for every event
+    /// ever published, for any ring size down to pathological ones.
+    #[test]
+    fn wraparound_conserves_event_accounting(
+        shapes in proptest::collection::vec(
+            proptest::collection::vec(0usize..4, 0..6), 1..20),
+        capacity in 8usize..200,
+    ) {
+        let rec = Recorder::new(TraceConfig {
+            capacity_events: capacity,
+            max_events_per_trace: 32,
+            ..TraceConfig::keep_all()
+        });
+        record_traces(&rec, &shapes);
+        let snap = rec.snapshot();
+        let stats = rec.stats();
+        let in_ring: usize = snap.traces.iter().map(|t| t.events.len()).sum();
+        prop_assert_eq!(
+            in_ring + stats.dropped_events as usize,
+            conceptual_events(&shapes),
+            "ring {} + dropped {} != published",
+            in_ring,
+            stats.dropped_events
+        );
+        prop_assert_eq!(stats.started_traces as usize, shapes.len());
+        // Truncation must never unbalance a kept trace: whatever the
+        // per-trace budget clipped, every Begin still has its End (a
+        // B≠E trace is unreconstructable downstream).
+        for t in &snap.traces {
+            let b = t.events.iter().filter(|e| e.kind == xar_obs::trace::EventKind::Begin).count();
+            let e = t.events.iter().filter(|e| e.kind == xar_obs::trace::EventKind::End).count();
+            prop_assert_eq!(b, e, "unbalanced kept trace {}", t.trace);
+        }
+    }
+
+    /// Law 2: within each thread lane, timestamps never go backwards.
+    #[test]
+    fn per_thread_timestamps_monotone(
+        shapes in proptest::collection::vec(
+            proptest::collection::vec(0usize..4, 0..6), 1..10),
+    ) {
+        let rec = Recorder::new(TraceConfig::keep_all());
+        record_traces(&rec, &shapes);
+        let snap = rec.snapshot();
+        for t in &snap.traces {
+            let mut last: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            for ev in &t.events {
+                if let Some(prev) = last.insert(ev.tid, ev.ts_ns) {
+                    prop_assert!(
+                        ev.ts_ns >= prev,
+                        "tid {} went backwards: {} after {}",
+                        ev.tid, ev.ts_ns, prev
+                    );
+                }
+            }
+        }
+    }
+
+    /// Law 3: the Chrome export round-trips the recorded nesting.
+    #[test]
+    fn chrome_export_round_trips_nesting(
+        shapes in proptest::collection::vec(
+            proptest::collection::vec(0usize..4, 0..6), 1..10),
+    ) {
+        let rec = Recorder::new(TraceConfig::keep_all());
+        record_traces(&rec, &shapes);
+        let json = export_chrome(&rec.snapshot());
+        let parsed = parse_chrome(&json).expect("export must parse");
+        prop_assert!(parsed.has_drop_counter);
+        prop_assert_eq!(parsed.kept_traces as usize, shapes.len());
+
+        // Every B has a matching E (same span id), pairwise.
+        let mut open: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for ev in &parsed.events {
+            match ev.ph.as_str() {
+                "B" => *open.entry(ev.span).or_insert(0) += 1,
+                "E" => {
+                    let n = open.entry(ev.span).or_insert(0);
+                    prop_assert!(*n > 0, "E without B for span {}", ev.span);
+                    *n -= 1;
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(
+            open.values().all(|&n| n == 0),
+            "unclosed spans in export"
+        );
+
+        // Timelines reconstruct the exact generated tree.
+        let timelines = Timeline::build(&parsed);
+        prop_assert_eq!(timelines.len(), shapes.len());
+        // Sort both sides by recording order (trace ids ascend).
+        let mut tls: Vec<&Timeline> = timelines.iter().collect();
+        tls.sort_by_key(|t| t.trace);
+        for (tl, shape) in tls.iter().zip(shapes.iter()) {
+            prop_assert_eq!(&tl.root.name, "request");
+            prop_assert_eq!(tl.root.children.len(), shape.len());
+            for (child, &grands) in tl.root.children.iter().zip(shape.iter()) {
+                prop_assert_eq!(&child.name, "child");
+                prop_assert_eq!(child.children.len(), grands);
+            }
+            check_durations(&tl.root)?;
+        }
+    }
+}
+
+/// Recursive duration sanity: non-negative, self ≤ total, children
+/// inside the parent window.
+fn check_durations(node: &SpanNode) -> Result<(), TestCaseError> {
+    prop_assert!(node.dur_us >= 0.0, "negative duration on {}", node.name);
+    prop_assert!(node.self_us >= 0.0, "negative self-time on {}", node.name);
+    prop_assert!(node.self_us <= node.dur_us + 1e-6);
+    for c in &node.children {
+        // Timestamps are µs with sub-µs resolution loss; allow 1 µs.
+        prop_assert!(c.start_us >= node.start_us - 1.0);
+        prop_assert!(c.start_us + c.dur_us <= node.start_us + node.dur_us + 1.0);
+        check_durations(c)?;
+    }
+    Ok(())
+}

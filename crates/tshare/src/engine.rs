@@ -183,6 +183,7 @@ impl TShareEngine {
         match self.config.distance_mode {
             DistanceMode::ShortestPath => {
                 self.stats.shortest_paths.fetch_add(1, Ordering::Relaxed);
+                let _sp_trace = xar_obs::trace::span("shortest_path");
                 ShortestPaths::driving(&self.graph).cost(a, b)
             }
             DistanceMode::Haversine => Some(
@@ -201,11 +202,15 @@ impl TShareEngine {
         seats: u8,
     ) -> Option<TaxiId> {
         let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.create_ns));
+        let _tspan = xar_obs::trace::span("create");
         let src = self.locator.nearest(&self.graph, &source).0;
         let dst = self.locator.nearest(&self.graph, &destination).0;
         self.stats.shortest_paths.fetch_add(1, Ordering::Relaxed);
         let sp = ShortestPaths::driving(&self.graph);
-        let path = sp.path(src, dst)?;
+        let path = {
+            let _sp_trace = xar_obs::trace::span("shortest_path");
+            sp.path(src, dst)?
+        };
         let route = Route::from_path_result(&self.graph, &path)?;
         let id = TaxiId(self.next_id);
         self.next_id += 1;
@@ -276,6 +281,7 @@ impl TShareEngine {
     pub fn search(&self, req: &TShareRequest, k: usize) -> Vec<TShareMatch> {
         self.stats.searches.fetch_add(1, Ordering::Relaxed);
         let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.search_ns));
+        let mut tspan = xar_obs::trace::span("search");
         if k == 0 {
             return vec![];
         }
@@ -350,12 +356,16 @@ impl TShareEngine {
                     out.push(m);
                     if out.len() >= k {
                         self.metrics.search_candidates.record(checked.len() as u64);
+                        tspan.attr("candidates", checked.len());
+                        tspan.attr("matches", out.len());
                         return out;
                     }
                 }
             }
         }
         self.metrics.search_candidates.record(checked.len() as u64);
+        tspan.attr("candidates", checked.len());
+        tspan.attr("matches", out.len());
         out
     }
 
@@ -370,6 +380,7 @@ impl TShareEngine {
         dropoff_node: NodeId,
         req: &TShareRequest,
     ) -> Option<TShareMatch> {
+        let _tspan = xar_obs::trace::span("feasibility_check");
         let taxi = self.taxis.get(tid)?;
         if taxi.seats_available == 0 {
             return None;
@@ -413,6 +424,7 @@ impl TShareEngine {
     /// route with fresh shortest paths and refresh the grid lists.
     pub fn book(&mut self, m: &TShareMatch) -> Option<f64> {
         let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.book_ns));
+        let mut tspan = xar_obs::trace::span("book");
         let taxi = self.taxis.get(&m.taxi)?;
         if taxi.seats_available == 0 {
             return None;
@@ -421,6 +433,7 @@ impl TShareEngine {
         let mut n_sp = 0u64;
         let mut leg = |a: NodeId, b: NodeId| -> Option<Route> {
             n_sp += 1;
+            let _sp_trace = xar_obs::trace::span("shortest_path");
             Route::from_path_result(&self.graph, &sp.path(a, b)?)
         };
 
@@ -486,6 +499,9 @@ impl TShareEngine {
         Self::index_taxi(&self.grid, &self.graph, &mut owned, &mut self.index, from);
         self.taxis.insert(m.taxi, owned);
         self.stats.bookings.fetch_add(1, Ordering::Relaxed);
+        tspan.attr("taxi", m.taxi.0);
+        tspan.attr("shortest_paths", n_sp);
+        tspan.attr("detour_m", detour);
         Some(detour)
     }
 
@@ -493,6 +509,7 @@ impl TShareEngine {
     /// finished taxis. Returns the number retired.
     pub fn track_all(&mut self, now_s: f64) -> usize {
         let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.track_ns));
+        let mut tspan = xar_obs::trace::span("track");
         let ids: Vec<TaxiId> = self.taxis.keys().copied().collect();
         let mut retired = 0usize;
         for id in ids {
@@ -520,6 +537,7 @@ impl TShareEngine {
             }
             taxi.cells = kept;
         }
+        tspan.attr("retired", retired);
         retired
     }
 

@@ -45,6 +45,8 @@ impl RideBackend for XarBackend {
                 estimated_detour_m: out.estimated_detour_m,
                 walk_m: out.walk_total_m,
                 budget_before_m: out.detour_budget_before_m,
+                pickup_eta_s: out.pickup_eta_s,
+                dropoff_eta_s: out.dropoff_eta_s,
             },
             Err(_) => BookResult::Failed,
         }
@@ -68,6 +70,10 @@ impl RideBackend for XarBackend {
 
     fn registry(&self) -> Option<std::sync::Arc<xar_obs::Registry>> {
         Some(self.engine.metrics().registry())
+    }
+
+    fn name(&self) -> &'static str {
+        "xar"
     }
 }
 
@@ -104,6 +110,8 @@ impl RideBackend for TShareBackend {
                 estimated_detour_m: m.detour_m,
                 walk_m: 0.0, // T-Share picks riders up at their door
                 budget_before_m: f64::INFINITY, // T-Share has no per-ride budget
+                pickup_eta_s: m.pickup_eta_s,
+                dropoff_eta_s: f64::NAN, // T-Share does not expose it
             },
             None => BookResult::Failed,
         }
@@ -121,6 +129,10 @@ impl RideBackend for TShareBackend {
 
     fn registry(&self) -> Option<std::sync::Arc<xar_obs::Registry>> {
         Some(self.engine.metrics().registry())
+    }
+
+    fn name(&self) -> &'static str {
+        "tshare"
     }
 }
 

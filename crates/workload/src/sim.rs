@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use xar_obs::trace::AttrList;
 use xar_obs::Registry;
 
 use crate::report::SimReport;
@@ -69,6 +70,12 @@ pub trait RideBackend {
     fn registry(&self) -> Option<Arc<Registry>> {
         None
     }
+    /// Short system name stamped on every request trace (`system`
+    /// attribute), so one trace file can interleave XAR and T-Share
+    /// timelines distinguishably.
+    fn name(&self) -> &'static str {
+        "backend"
+    }
 }
 
 /// Outcome of one booking attempt.
@@ -86,16 +93,58 @@ pub enum BookResult {
         /// The ride's remaining detour budget before the booking,
         /// metres.
         budget_before_m: f64,
+        /// Scheduled pick-up time, absolute simulated seconds (`NaN`
+        /// when the backend cannot predict it).
+        pickup_eta_s: f64,
+        /// Scheduled drop-off time, absolute simulated seconds (`NaN`
+        /// when unknown — T-Share does not expose it).
+        dropoff_eta_s: f64,
     },
     /// The match went stale (ride full / departed); the simulation
     /// falls through to ride creation.
     Failed,
 }
 
+/// A booked request whose pick-up / drop-off milestones have not been
+/// reached yet: `(trace id, pickup ETA, dropoff ETA)`. Consumed etas
+/// are set to `NaN`.
+type PendingLifecycle = (u64, f64, f64);
+
+/// Emit `request.picked_up` / `request.dropped_off` lifecycle instants
+/// for every pending booking whose scheduled time has passed `now_s`.
+fn flush_lifecycle(pending: &mut Vec<PendingLifecycle>, now_s: f64) {
+    pending.retain_mut(|(trace, pickup, dropoff)| {
+        if pickup.is_finite() && *pickup <= now_s {
+            xar_obs::trace::lifecycle(
+                *trace,
+                "request.picked_up",
+                AttrList::new().with("sim_t_s", *pickup),
+            );
+            *pickup = f64::NAN;
+        }
+        if dropoff.is_finite() && *dropoff <= now_s {
+            xar_obs::trace::lifecycle(
+                *trace,
+                "request.dropped_off",
+                AttrList::new().with("sim_t_s", *dropoff),
+            );
+            *dropoff = f64::NAN;
+        }
+        pickup.is_finite() || dropoff.is_finite()
+    });
+}
+
 /// Run the §X.A.2 protocol over `trips`: search; book the best match
 /// if any (falling through the match list on stale entries); otherwise
 /// create a new ride. Per-operation wall-clock latencies are recorded
 /// in the returned report.
+///
+/// When the global trace recorder is enabled, every trip becomes one
+/// `request` trace (born → searched → offered → booked/created/
+/// unservable), every tracking sweep one `track` trace, and booked
+/// requests later receive `request.picked_up` / `request.dropped_off`
+/// lifecycle instants as simulated time passes their ETAs — a single
+/// rider's full timeline is reconstructable from the export.
 pub fn run_simulation<B: RideBackend>(
     backend: &mut B,
     trips: &[Trip],
@@ -110,16 +159,34 @@ pub fn run_simulation<B: RideBackend>(
     let book_h = registry.histogram("sim.book_ns");
     let create_h = registry.histogram("sim.create_ns");
     let track_h = registry.histogram("sim.track_ns");
+    let system = backend.name();
+    let mut pending: Vec<PendingLifecycle> = Vec::new();
     let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
-    for trip in trips {
+    for (idx, trip) in trips.iter().enumerate() {
         if let Some(every) = cfg.track_every_s {
             while trip.pickup_s >= next_track {
-                let t0 = Instant::now();
-                backend.track(next_track);
-                track_h.record(t0.elapsed().as_nanos() as u64);
+                {
+                    let mut troot = xar_obs::trace::root("track");
+                    troot.attr("sim_t_s", next_track);
+                    troot.attr("system", system);
+                    let t0 = Instant::now();
+                    backend.track(next_track);
+                    track_h.record(t0.elapsed().as_nanos() as u64);
+                }
+                flush_lifecycle(&mut pending, next_track);
                 next_track += every;
             }
         }
+
+        let mut troot = xar_obs::trace::root("request");
+        troot.attr("idx", idx as u64);
+        troot.attr("sim_t_s", trip.pickup_s);
+        troot.attr("system", system);
+        let ctx = xar_obs::trace::current_ctx();
+        xar_obs::trace::instant(
+            "request.born",
+            AttrList::new().with("sim_t_s", trip.pickup_s),
+        );
 
         // Extra "look" searches (high look-to-book scenarios, Fig. 5b).
         for _ in 0..cfg.lookups_per_request {
@@ -138,6 +205,10 @@ pub fn run_simulation<B: RideBackend>(
         search_h.record(ns);
         report.looks += 1;
         report.matches_returned += matches.len() as u64;
+        xar_obs::trace::instant(
+            "request.offered",
+            AttrList::new().with("matches", matches.len()),
+        );
 
         let mut booked = false;
         for m in &matches {
@@ -146,8 +217,14 @@ pub fn run_simulation<B: RideBackend>(
             let ns = t0.elapsed().as_nanos() as u64;
             report.book_ns.push(ns);
             book_h.record(ns);
-            if let BookResult::Booked { actual_detour_m, estimated_detour_m, walk_m, budget_before_m } =
-                res
+            if let BookResult::Booked {
+                actual_detour_m,
+                estimated_detour_m,
+                walk_m,
+                budget_before_m,
+                pickup_eta_s,
+                dropoff_eta_s,
+            } = res
             {
                 report.booked += 1;
                 report.detour_actual_m.push(actual_detour_m);
@@ -155,9 +232,23 @@ pub fn run_simulation<B: RideBackend>(
                 report.detour_excess_m.push((actual_detour_m - budget_before_m).max(0.0));
                 report.walk_m.push(walk_m);
                 booked = true;
+                xar_obs::trace::instant(
+                    "request.booked",
+                    AttrList::new()
+                        .with("walk_m", walk_m)
+                        .with("detour_m", actual_detour_m)
+                        .with("pickup_eta_s", pickup_eta_s),
+                );
+                troot.attr("outcome", "booked");
+                if let Some(ctx) = ctx {
+                    if pickup_eta_s.is_finite() || dropoff_eta_s.is_finite() {
+                        pending.push((ctx.trace, pickup_eta_s, dropoff_eta_s));
+                    }
+                }
                 break;
             }
             report.stale_matches += 1;
+            xar_obs::trace::instant("request.rejected", AttrList::new().with("stale", 1u64));
         }
         if !booked {
             let t0 = Instant::now();
@@ -167,11 +258,19 @@ pub fn run_simulation<B: RideBackend>(
             create_h.record(ns);
             if ok {
                 report.created += 1;
+                xar_obs::trace::instant("request.created", AttrList::new());
+                troot.attr("outcome", "created");
             } else {
                 report.unservable += 1;
+                xar_obs::trace::instant("request.unservable", AttrList::new());
+                troot.attr("outcome", "unservable");
             }
         }
     }
+    // The simulation clock stops at the last request; milestones
+    // already scheduled (bookings with known ETAs) are flushed so
+    // committed snapshots contain complete rider timelines.
+    flush_lifecycle(&mut pending, f64::INFINITY);
     report.registry = Some(registry);
     report
 }
@@ -211,6 +310,8 @@ mod tests {
                     estimated_detour_m: 8.0,
                     walk_m: 50.0,
                     budget_before_m: 100.0,
+                    pickup_eta_s: 0.0,
+                    dropoff_eta_s: 0.0,
                 }
             }
         }

@@ -11,26 +11,50 @@
 //!
 //! xar simulate --region region.xarr [--trips N] [--seed S] [--k N]
 //!              [--walk M] [--window S] [--detour M] [--json FILE]
-//!              [--metrics-out FILE]
+//!              [--metrics-out FILE] [--trace-out FILE]
+//!              [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N]
+//!              [--baseline tshare]
 //!     Run the paper's §X.A.2 ride-sharing simulation over a synthetic
 //!     taxi day and report outcome + latency statistics. `--json` dumps
 //!     the full report (counters, percentiles, metrics) as JSON;
 //!     `--metrics-out` dumps just the metric-registry snapshot
-//!     (schema in EXPERIMENTS.md).
+//!     (schema in EXPERIMENTS.md). `--trace-out` enables the flight
+//!     recorder and writes Chrome trace-event JSON (Perfetto-loadable;
+//!     tail sampling keeps every request slower than `--trace-slow-ms`,
+//!     default 1.0, plus a `--trace-sample` fraction of the rest,
+//!     default 0.01). `--baseline tshare` replays the same trips
+//!     through the T-Share baseline so the trace and metrics cover
+//!     both systems.
+//!
+//! xar trace --in trace.json [--top N] [--check]
+//!     Print the N slowest request timelines (per-span self-time,
+//!     lifecycle milestones) from a `--trace-out` file — or, with
+//!     `--check`, validate the file (valid JSON, at least one complete
+//!     request timeline, drop counter present) and exit non-zero when
+//!     it is malformed.
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use xar_obs::chrome::{export_chrome, parse_chrome, Attrs, Timeline};
+use xar_obs::json::JsonValue;
+use xar_obs::TraceConfig;
 use xhare_a_ride::core::{EngineConfig, XarEngine};
 use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
 use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
+use xhare_a_ride::tshare::{TShareConfig, TShareEngine};
 use xhare_a_ride::workload::{
-    generate_trips, percentile_ns, run_simulation, SimConfig, TripGenConfig, XarBackend,
+    generate_trips, percentile_ns, run_simulation, SimConfig, TShareBackend, TripGenConfig,
+    XarBackend,
 };
 
-/// Minimal `--key value` flag parser.
+/// Flags that take no value (presence alone means `true`).
+const SWITCHES: &[&str] = &["check"];
+
+/// Minimal `--key value` flag parser (with a fixed set of valueless
+/// switches).
 struct Flags {
     values: HashMap<String, String>,
 }
@@ -43,12 +67,20 @@ impl Flags {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{a}'"));
             };
+            if SWITCHES.contains(&key) {
+                values.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let Some(v) = it.next() else {
                 return Err(format!("flag --{key} is missing a value"));
             };
             values.insert(key.to_string(), v.clone());
         }
         Ok(Self { values })
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -68,7 +100,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE] [--metrics-out FILE]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare]\n  xar trace --in FILE [--top N] [--check]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -132,6 +164,24 @@ fn simulate(flags: &Flags) -> Result<(), String> {
     let window: f64 = flags.get("window", 1_200.0)?;
     let detour: f64 = flags.get("detour", 4_000.0)?;
 
+    let trace_out = flags.get_opt("trace-out").map(str::to_string);
+    if trace_out.is_some() {
+        let slow_ms: f64 = flags.get("trace-slow-ms", 1.0)?;
+        let sample: f64 = flags.get("trace-sample", 0.01)?;
+        let buffer: usize = flags.get("trace-buffer", 262_144)?;
+        if !(0.0..=1.0).contains(&sample) {
+            return Err("--trace-sample must be a probability in [0, 1]".into());
+        }
+        let rec = xar_obs::trace::recorder();
+        rec.configure(TraceConfig {
+            slow_threshold_ns: (slow_ms * 1e6).max(0.0) as u64,
+            sample_per_mille: (sample * 1000.0).round() as u32,
+            capacity_events: buffer,
+            ..TraceConfig::default()
+        });
+        rec.set_enabled(true);
+    }
+
     let region =
         Arc::new(RegionIndex::load(path).map_err(|e| format!("cannot read {path}: {e}"))?);
     let trips = generate_trips(
@@ -178,6 +228,149 @@ fn simulate(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("metrics        : {path}");
     }
+
+    if let Some(baseline) = flags.get_opt("baseline") {
+        if baseline != "tshare" {
+            return Err(format!("unknown baseline '{baseline}' (only 'tshare' is supported)"));
+        }
+        eprintln!("replaying {} trips through the T-Share baseline...", trips.len());
+        let mut ts = TShareBackend::new(TShareEngine::new(
+            Arc::clone(region.graph()),
+            TShareConfig::default(),
+        ));
+        let tr = run_simulation(&mut ts, &trips, &cfg);
+        println!(
+            "baseline       : tshare booked {} ({:.1}% share rate), search p95 {:.1} µs",
+            tr.booked,
+            tr.share_rate() * 100.0,
+            percentile_ns(&tr.search_ns, 95.0) / 1e3,
+        );
+    }
+
+    if let Some(path) = trace_out {
+        let rec = xar_obs::trace::recorder();
+        rec.set_enabled(false);
+        std::fs::write(&path, export_chrome(&rec.snapshot()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let st = rec.stats();
+        println!(
+            "trace          : {path} ({} of {} traces kept, {} sampled out, {} events dropped)",
+            st.kept_traces, st.started_traces, st.sampled_out_traces, st.dropped_events,
+        );
+    }
+    Ok(())
+}
+
+/// Render one attribute value compactly (`3`, `2.5`, `booked`, ...).
+fn attr_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(n) => format!("{n}"),
+        JsonValue::String(s) => s.clone(),
+        JsonValue::Array(_) | JsonValue::Object(_) => "...".into(),
+    }
+}
+
+fn attr_line(attrs: &Attrs) -> String {
+    let mut out = String::new();
+    for (k, v) in attrs {
+        out.push_str(&format!(" {k}={}", attr_value(v)));
+    }
+    out
+}
+
+/// Recursive span printer: duration, self-time, attrs, then nested
+/// spans and the instants that fired while this span was innermost.
+fn print_span(node: &xar_obs::chrome::SpanNode, root_start_us: f64, depth: usize) {
+    let indent = "  ".repeat(depth);
+    println!(
+        "  {indent}{:<24} +{:9.1} µs  dur {:9.1} µs  self {:9.1} µs{}",
+        node.name,
+        node.start_us - root_start_us,
+        node.dur_us,
+        node.self_us,
+        attr_line(&node.attrs),
+    );
+    for (name, ts_us, attrs) in &node.instants {
+        println!(
+            "  {indent}  * {:<20} +{:9.1} µs{}",
+            name,
+            ts_us - root_start_us,
+            attr_line(attrs),
+        );
+    }
+    for child in &node.children {
+        print_span(child, root_start_us, depth + 1);
+    }
+}
+
+/// `xar trace`: inspect (or, with `--check`, validate) a Chrome trace
+/// file written by `xar simulate --trace-out`.
+fn trace_cmd(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("in")?;
+    let top: usize = flags.get("top", 10)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = parse_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
+    let timelines = Timeline::build(&parsed);
+    let requests: Vec<&Timeline> =
+        timelines.iter().filter(|t| t.root.name == "request").collect();
+
+    if flags.switch("check") {
+        // The in-tree CI validator: a trace file is healthy when it is
+        // valid Chrome JSON (parse_chrome above), carries at least one
+        // complete request timeline, and self-describes its drop
+        // accounting.
+        if requests.is_empty() {
+            return Err(format!("{path}: no complete 'request' timeline"));
+        }
+        if !parsed.has_drop_counter {
+            return Err(format!("{path}: missing 'xar' drop-counter block"));
+        }
+        println!(
+            "ok: {} events, {} timelines ({} requests), {}/{} traces kept, {} events dropped",
+            parsed.events.len(),
+            timelines.len(),
+            requests.len(),
+            parsed.kept_traces,
+            parsed.started_traces,
+            parsed.dropped_events,
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{path}: {} events, {} traces kept of {} started ({} sampled out), {} events dropped",
+        parsed.events.len(),
+        parsed.kept_traces,
+        parsed.started_traces,
+        parsed.sampled_out_traces,
+        parsed.dropped_events,
+    );
+    let mut slowest = requests;
+    slowest.sort_by(|a, b| {
+        b.root.dur_us.partial_cmp(&a.root.dur_us).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!("{} request timelines; {} slowest:", slowest.len(), top.min(slowest.len()));
+    for (i, t) in slowest.iter().take(top).enumerate() {
+        println!(
+            "\n#{:<2} trace {}  {:.1} µs  {} spans{}",
+            i + 1,
+            t.trace,
+            t.root.dur_us,
+            t.span_count(),
+            attr_line(&t.root.attrs),
+        );
+        print_span(&t.root, t.root.start_us, 0);
+        for (name, ts_us, attrs) in &t.lifecycle {
+            println!(
+                "    ~ {:<20} +{:9.1} µs{}",
+                name,
+                ts_us - t.root.start_us,
+                attr_line(attrs),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -198,6 +391,7 @@ fn main() -> ExitCode {
         "build-region" => build_region(&flags),
         "inspect" => inspect(&flags),
         "simulate" => simulate(&flags),
+        "trace" => trace_cmd(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -1,0 +1,172 @@
+//! Observability-cost baseline — `results/BENCH_obs.json`.
+//!
+//! Puts machine-readable numbers on the ops-plane costs the design
+//! claims are negligible (DESIGN.md §5d): the record path with and
+//! without labels, the labeled-handle lookup the hot paths avoid, one
+//! window tick over a realistic registry, rendering the Prometheus
+//! text document, and a full HTTP scrape of a live `/metrics`.
+//!
+//! Unlike the figure harnesses this emits JSON, so CI can diff the
+//! baseline across commits without scraping stdout. Usage:
+//!
+//! ```text
+//! cargo run --release -p xar-bench --bin bench_obs [-- out.json]
+//! ```
+
+use std::hint::black_box;
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
+use std::time::Instant;
+
+use xar_obs::json::JsonWriter;
+use xar_obs::serve::{serve, OpsPlane};
+use xar_obs::slo::{SloEngine, SloRule};
+use xar_obs::window::{WindowConfig, WindowStore};
+use xar_obs::{promtext, Registry};
+
+/// Median ns/op over `reps` timed batches of `iters` calls each.
+fn measure(iters: u64, reps: usize, mut f: impl FnMut(u64)) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+/// A registry shaped like a live simulation: the unlabeled engine
+/// families plus the tier/cluster/outcome labeled series, all with
+/// recorded traffic so ticks and renders do real work.
+fn populated_registry() -> Arc<Registry> {
+    let reg = Arc::new(Registry::new());
+    for name in
+        ["engine.search_ns", "engine.create_ns", "engine.book_ns", "engine.track_ns", "engine.sp_ns"]
+    {
+        let h = reg.histogram(name);
+        for i in 0..256u64 {
+            h.record(1_000 + i * 97);
+        }
+    }
+    for tier in ["t1", "t2", "t3"] {
+        let h = reg.histogram_with("engine.search_ns", &[("tier", tier)]);
+        for i in 0..128u64 {
+            h.record(2_000 + i * 131);
+        }
+    }
+    for b in ["b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"] {
+        let h = reg.histogram_with("engine.book_ns", &[("cluster", b)]);
+        for i in 0..64u64 {
+            h.record(5_000 + i * 211);
+        }
+        reg.counter_with("engine.bookings", &[("cluster", b)]).add(64);
+        reg.gauge_with("engine.cluster_rides", &[("cluster", b)]).set(7);
+    }
+    for outcome in ["booked", "created", "unservable"] {
+        reg.counter_with("sim.requests", &[("outcome", outcome)]).add(100);
+    }
+    reg.counter("sim.requests_total").add(300);
+    reg
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_obs.json".to_string());
+    const ITERS: u64 = 1_000_000;
+    const REPS: usize = 7;
+
+    let reg = Registry::new();
+    let unlabeled = reg.histogram("bench.record_ns");
+    let labeled = reg.histogram_with("bench.record_ns", &[("tier", "t1")]);
+
+    let record_unlabeled_ns =
+        measure(ITERS, REPS, |i| unlabeled.record(black_box(1_000 + (i & 0xFFF))));
+    let record_labeled_ns =
+        measure(ITERS, REPS, |i| labeled.record(black_box(1_000 + (i & 0xFFF))));
+    // The per-call interned lookup the pre-resolved handles avoid
+    // (order-insensitive match against an existing series; no alloc).
+    let labeled_lookup_ns = measure(100_000, REPS, |_| {
+        black_box(reg.histogram_with("bench.record_ns", &[("tier", "t1")]));
+    });
+
+    let live = populated_registry();
+    let window = WindowStore::new(WindowConfig::default());
+    let tick_ns = measure(1_000, REPS, |i| {
+        // Keep deltas non-empty so every tick diffs and stores.
+        live.histogram("engine.search_ns").record(1_000 + i);
+        window.tick(&live);
+    });
+    let render_ns = measure(1_000, REPS, |_| {
+        black_box(promtext::render(&live.series()));
+    });
+
+    // Full scrape: HTTP round trip against a served plane (localhost),
+    // including rolling-window and alert rendering.
+    let plane = OpsPlane {
+        registry: Arc::clone(&live),
+        window: Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 64 })),
+        slo: Arc::new(SloEngine::new(vec![SloRule::parse(
+            "name=bench hist=engine.search_ns max_ms=500 target=0.99 fast=10 slow=60",
+        )
+        .expect("valid rule")])),
+    };
+    plane.tick();
+    let server = serve("127.0.0.1:0", plane.clone()).expect("bind bench server");
+    let addr = server.local_addr();
+    let mut body_bytes = 0usize;
+    let scrape_ns = measure(200, REPS, |_| {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        write!(s, "GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("read");
+        body_bytes = buf.len();
+    });
+    drop(server);
+
+    let series_count = live.series().len();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("obs");
+    w.key("config");
+    w.begin_object();
+    w.key("record_iters");
+    w.number_u64(ITERS);
+    w.key("reps");
+    w.number_u64(REPS as u64);
+    w.key("registry_series");
+    w.number_u64(series_count as u64);
+    w.key("scrape_body_bytes");
+    w.number_u64(body_bytes as u64);
+    w.end_object();
+    w.key("results_ns");
+    w.begin_object();
+    for (k, v) in [
+        ("hist_record_unlabeled", record_unlabeled_ns),
+        ("hist_record_labeled_handle", record_labeled_ns),
+        ("labeled_lookup", labeled_lookup_ns),
+        ("window_tick", tick_ns),
+        ("promtext_render", render_ns),
+        ("metrics_scrape", scrape_ns),
+    ] {
+        w.key(k);
+        w.number_f64((v * 10.0).round() / 10.0);
+    }
+    w.end_object();
+    w.end_object();
+    let json = w.finish();
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write baseline");
+    println!("{json}");
+    println!("# written to {out_path}");
+    assert!(
+        record_labeled_ns < record_unlabeled_ns * 3.0 + 20.0,
+        "labeled handle record should cost the same as unlabeled \
+         ({record_labeled_ns:.1} ns vs {record_unlabeled_ns:.1} ns)"
+    );
+}

@@ -303,6 +303,12 @@ impl XarEngine {
         Self::index_ride(&self.region, &self.config, &mut ride, &mut self.index, 0);
         self.rides.insert(id, ride);
         self.stats.creates.inc();
+        // Occupancy gauge: the ride lives in its source's cluster
+        // bucket until retired (the source via-point never moves, so
+        // retire decrements the same bucket).
+        if let Some(c) = self.region.cluster_of_node(stop_nodes[0]) {
+            self.metrics.cluster_rides[EngineMetrics::cluster_bucket(c.0)].add(1);
+        }
         tspan.attr("ride", id.0);
         tspan.attr("legs", stop_nodes.len() as u64 - 1);
         Ok(id)
@@ -443,9 +449,13 @@ impl XarEngine {
     }
 
     /// Remove a retired ride from the table entirely (tracking, once
-    /// completed).
+    /// completed), releasing its slot in the occupancy gauge.
     pub(crate) fn retire_ride(&mut self, id: RideId) {
-        self.rides.remove(&id);
+        if let Some(ride) = self.rides.remove(&id) {
+            if let Some(c) = self.region.cluster_of_node(ride.via_points[0].node) {
+                self.metrics.cluster_rides[EngineMetrics::cluster_bucket(c.0)].add(-1);
+            }
+        }
     }
 
     /// Remove every index entry belonging to `ride` (pass-through and

@@ -20,10 +20,33 @@
 //! | `lock.write_hold_ns` | histogram | write-lock hold time (`SharedXarEngine`) |
 //! | `engine.searches` / `creates` / `bookings` / `tracks` | counter | operation counts ([`crate::engine::EngineStats`]) |
 //! | `engine.shortest_paths` | counter | shortest-path computations (create/book — never search) |
+//!
+//! Labeled series (low-cardinality, pre-resolved into the arrays
+//! below so the hot paths never re-intern):
+//!
+//! | series | type | meaning |
+//! |--------|------|---------|
+//! | `engine.search_ns{tier="t1\|t2\|t3"}` | histogram | search latency by source fan-out: t1 ≤ 2 walkable clusters, t2 3–6, t3 ≥ 7 (unservable searches carry no tier) |
+//! | `engine.book_ns{cluster="bK"}` | histogram | booking latency by pick-up cluster bucket (`K = cluster id mod 8`) |
+//! | `engine.bookings{cluster="bK"}` | counter | bookings per pick-up cluster bucket |
+//! | `engine.cluster_rides{cluster="bK"}` | gauge | live rides whose source lies in cluster bucket `K` (+1 on create, −1 on retire) |
 
 use std::sync::Arc;
 
-use xar_obs::{Histogram, Registry};
+use xar_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Number of cluster buckets for per-cluster labels. Cluster ids are
+/// folded modulo this (the label cardinality budget caps at 8 series
+/// per family, far under the registry's 64-series overflow cap).
+pub const CLUSTER_BUCKETS: usize = 8;
+
+/// The `cluster` label values, index-aligned with the bucket arrays.
+pub const CLUSTER_BUCKET_NAMES: [&str; CLUSTER_BUCKETS] =
+    ["b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"];
+
+/// The `tier` label values for search fan-out (source walkable-cluster
+/// count: t1 ≤ 2, t2 3–6, t3 ≥ 7).
+pub const SEARCH_TIERS: [&str; 3] = ["t1", "t2", "t3"];
 
 /// Cached metric handles for one engine instance.
 #[derive(Clone)]
@@ -43,6 +66,18 @@ pub struct EngineMetrics {
     /// Per shortest-path computation latency during create/book,
     /// nanoseconds.
     pub sp_ns: Arc<Histogram>,
+    /// `engine.search_ns{tier=…}` — search latency by source fan-out,
+    /// index-aligned with [`SEARCH_TIERS`].
+    pub search_ns_tier: [Arc<Histogram>; 3],
+    /// `engine.book_ns{cluster=…}` — booking latency by pick-up cluster
+    /// bucket, index-aligned with [`CLUSTER_BUCKET_NAMES`].
+    pub book_ns_cluster: [Arc<Histogram>; CLUSTER_BUCKETS],
+    /// `engine.bookings{cluster=…}` — bookings per pick-up cluster
+    /// bucket.
+    pub bookings_cluster: [Arc<Counter>; CLUSTER_BUCKETS],
+    /// `engine.cluster_rides{cluster=…}` — live-ride occupancy per
+    /// source cluster bucket.
+    pub cluster_rides: [Arc<Gauge>; CLUSTER_BUCKETS],
 }
 
 impl EngineMetrics {
@@ -60,12 +95,49 @@ impl EngineMetrics {
         let track_ns = registry.histogram("engine.track_ns");
         let search_candidates = registry.histogram("engine.search_candidates");
         let sp_ns = registry.histogram("engine.sp_ns");
-        Self { registry, search_ns, create_ns, book_ns, track_ns, search_candidates, sp_ns }
+        let search_ns_tier =
+            SEARCH_TIERS.map(|t| registry.histogram_with("engine.search_ns", &[("tier", t)]));
+        let book_ns_cluster = CLUSTER_BUCKET_NAMES
+            .map(|b| registry.histogram_with("engine.book_ns", &[("cluster", b)]));
+        let bookings_cluster = CLUSTER_BUCKET_NAMES
+            .map(|b| registry.counter_with("engine.bookings", &[("cluster", b)]));
+        let cluster_rides = CLUSTER_BUCKET_NAMES
+            .map(|b| registry.gauge_with("engine.cluster_rides", &[("cluster", b)]));
+        Self {
+            registry,
+            search_ns,
+            create_ns,
+            book_ns,
+            track_ns,
+            search_candidates,
+            sp_ns,
+            search_ns_tier,
+            book_ns_cluster,
+            bookings_cluster,
+            cluster_rides,
+        }
     }
 
     /// The registry backing these handles (snapshot / JSON export).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
+    }
+
+    /// Index into [`SEARCH_TIERS`] / `search_ns_tier` for a search whose
+    /// source has `walkable` walkable clusters.
+    #[inline]
+    pub fn tier_index(walkable: usize) -> usize {
+        match walkable {
+            0..=2 => 0,
+            3..=6 => 1,
+            _ => 2,
+        }
+    }
+
+    /// Index into the per-cluster bucket arrays for a cluster id.
+    #[inline]
+    pub fn cluster_bucket(cluster: u32) -> usize {
+        cluster as usize % CLUSTER_BUCKETS
     }
 }
 
@@ -86,6 +158,38 @@ mod tests {
         let json = m.registry().snapshot_json();
         assert!(json.contains("\"engine.search_ns\""), "{json}");
         assert!(json.contains("\"engine.book_ns\""), "{json}");
+    }
+
+    #[test]
+    fn labeled_handles_are_distinct_series() {
+        let m = EngineMetrics::new();
+        m.search_ns_tier[0].record(10);
+        m.search_ns_tier[2].record(99);
+        m.bookings_cluster[3].inc();
+        m.cluster_rides[3].add(1);
+        // Series keys carry their labels; the inner quotes arrive
+        // JSON-escaped in the document text.
+        let json = m.registry().snapshot_json();
+        assert!(json.contains("engine.search_ns{tier=\\\"t1\\\"}"), "{json}");
+        assert!(json.contains("engine.search_ns{tier=\\\"t3\\\"}"), "{json}");
+        assert!(json.contains("engine.bookings{cluster=\\\"b3\\\"}"), "{json}");
+        assert!(json.contains("engine.cluster_rides{cluster=\\\"b3\\\"}"), "{json}");
+        // The unlabeled aggregate family still coexists.
+        m.search_ns.record(7);
+        assert!(m.registry().snapshot_json().contains("\"engine.search_ns\""));
+    }
+
+    #[test]
+    fn tier_and_bucket_mapping() {
+        assert_eq!(EngineMetrics::tier_index(0), 0);
+        assert_eq!(EngineMetrics::tier_index(2), 0);
+        assert_eq!(EngineMetrics::tier_index(3), 1);
+        assert_eq!(EngineMetrics::tier_index(6), 1);
+        assert_eq!(EngineMetrics::tier_index(7), 2);
+        assert_eq!(EngineMetrics::tier_index(1_000), 2);
+        assert_eq!(EngineMetrics::cluster_bucket(0), 0);
+        assert_eq!(EngineMetrics::cluster_bucket(8), 0);
+        assert_eq!(EngineMetrics::cluster_bucket(13), 5);
     }
 
     #[test]

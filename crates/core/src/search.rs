@@ -88,6 +88,7 @@ impl XarEngine {
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
         req.validate()?;
         self.stats.searches.inc();
+        let t0 = std::time::Instant::now();
         let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.search_ns));
         let mut tspan = xar_obs::trace::span("search");
         let region = self.region();
@@ -98,6 +99,12 @@ impl XarEngine {
         if src_walkable.is_empty() || dst_walkable.is_empty() {
             return Err(XarError::NotServable);
         }
+        // Tiered latency series: fan-out (walkable clusters on the
+        // source side) is the main cost driver, so the per-tier p99s
+        // separate "cheap" from "wide" searches on a live dashboard.
+        // Unservable searches (above) carry no tier.
+        let tier_hist =
+            &self.metrics.search_ns_tier[crate::metrics::EngineMetrics::tier_index(src_walkable.len())];
 
         // Step 1: R1 from the source side, ETA within the departure
         // window. A ride may be reachable through several walkable
@@ -125,6 +132,7 @@ impl XarEngine {
         self.metrics.search_candidates.record(r1.len() as u64);
         tspan.attr("candidates", r1.len());
         if r1.is_empty() {
+            tier_hist.record(t0.elapsed().as_nanos() as u64);
             return Ok(vec![]);
         }
 
@@ -225,6 +233,7 @@ impl XarEngine {
         });
         out.truncate(limit);
         tspan.attr("matches", out.len());
+        tier_hist.record(t0.elapsed().as_nanos() as u64);
         Ok(out)
     }
 }

@@ -43,11 +43,15 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod promtext;
 pub mod registry;
+pub mod serve;
+pub mod slo;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use hist::{Histogram, HistogramSnapshot};
-pub use registry::{global, Counter, Gauge, MetricSnapshot, Registry};
+pub use registry::{global, Counter, Gauge, MetricSnapshot, Registry, SeriesSnapshot};
 pub use span::SpanTimer;
 pub use trace::{AttrList, AttrValue, Recorder, TraceConfig, TraceCtx};

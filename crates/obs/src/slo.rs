@@ -1,0 +1,431 @@
+//! Declarative SLOs with multi-window burn-rate alerting.
+//!
+//! A rule names an objective (latency: "at least `target` of samples in
+//! a histogram series stay below a threshold"; ratio: "at least
+//! `target` of `total` events are `good`"), and the engine evaluates
+//! the *burn rate* — observed error rate divided by the error budget
+//! `1 − target` — over two rolling windows from a
+//! [`WindowStore`](crate::window::WindowStore). An alert fires only
+//! when **both** the fast and the slow window burn at or above the
+//! configured threshold: the slow window proves the problem is
+//! sustained, the fast window proves it is still happening (so alerts
+//! clear quickly after recovery). This is the standard multi-window
+//! burn-rate construction from SRE practice.
+//!
+//! Rules are parsed from a compact `key=value` string so they can ride
+//! on a CLI flag:
+//!
+//! ```text
+//! name=search_p99 hist=sim.search_ns max_us=250 target=0.99 fast=10 slow=60 burn=2
+//! name=bookings good=sim.requests{outcome="booked"} total=sim.requests_all target=0.9 fast=10 slow=60 burn=1
+//! ```
+//!
+//! `fast`/`slow` are window lengths in seconds; `max_us` is the latency
+//! threshold in microseconds (`max_ms`/`max_ns` are accepted too).
+//! Once a rule has fired it stays latched in
+//! [`AlertStatus::ever_fired`] so `xar simulate --slo-fail` can turn a
+//! burst of bad seconds into a non-zero exit code even if the run ends
+//! healthy.
+
+use std::sync::Mutex;
+
+use crate::json::JsonWriter;
+use crate::window::{RollingKind, WindowStore};
+
+/// What a rule measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// Fraction of samples in histogram series `hist` above `max_ns`
+    /// is the error rate.
+    Latency {
+        /// Rendered histogram series name (labels allowed).
+        hist: String,
+        /// Threshold in nanoseconds; samples above it are "bad".
+        max_ns: u64,
+    },
+    /// `1 − good/total` over counter deltas is the error rate.
+    Ratio {
+        /// Rendered counter series counting good events.
+        good: String,
+        /// Rendered counter series counting all events.
+        total: String,
+    },
+}
+
+/// One parsed SLO rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name (alert identity).
+    pub name: String,
+    /// The measured objective.
+    pub objective: Objective,
+    /// Success target in (0, 1), e.g. `0.99`.
+    pub target: f64,
+    /// Fast window, milliseconds.
+    pub fast_ms: u64,
+    /// Slow window, milliseconds.
+    pub slow_ms: u64,
+    /// Burn-rate threshold (≥ this in both windows ⇒ firing).
+    pub burn: f64,
+}
+
+impl SloRule {
+    /// Parse a rule from whitespace-separated `key=value` tokens (see
+    /// the module docs for the two forms).
+    pub fn parse(spec: &str) -> Result<SloRule, String> {
+        let mut name = None;
+        let mut hist = None;
+        let mut max_ns = None;
+        let mut good = None;
+        let mut total = None;
+        let mut target = None;
+        let mut fast_s = 10.0_f64;
+        let mut slow_s = 60.0_f64;
+        let mut burn = 1.0_f64;
+        for tok in spec.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("slo: token '{tok}' is not key=value"))?;
+            let num = || -> Result<f64, String> {
+                v.parse::<f64>().map_err(|_| format!("slo: '{k}={v}' is not a number"))
+            };
+            match k {
+                "name" => name = Some(v.to_string()),
+                "hist" => hist = Some(v.to_string()),
+                "max_ns" => max_ns = Some(num()? as u64),
+                "max_us" => max_ns = Some((num()? * 1e3) as u64),
+                "max_ms" => max_ns = Some((num()? * 1e6) as u64),
+                "good" => good = Some(v.to_string()),
+                "total" => total = Some(v.to_string()),
+                "target" => target = Some(num()?),
+                "fast" => fast_s = num()?,
+                "slow" => slow_s = num()?,
+                "burn" => burn = num()?,
+                _ => return Err(format!("slo: unknown key '{k}'")),
+            }
+        }
+        let name = name.ok_or("slo: missing name=")?;
+        let target = target.ok_or("slo: missing target=")?;
+        if !(0.0 < target && target < 1.0) {
+            return Err(format!("slo: target must be in (0,1), got {target}"));
+        }
+        if !(fast_s > 0.0 && slow_s >= fast_s) {
+            return Err(format!(
+                "slo: need 0 < fast <= slow, got fast={fast_s} slow={slow_s}"
+            ));
+        }
+        if burn <= 0.0 {
+            return Err(format!("slo: burn must be positive, got {burn}"));
+        }
+        let objective = match (hist, max_ns, good, total) {
+            (Some(hist), Some(max_ns), None, None) => Objective::Latency { hist, max_ns },
+            (None, None, Some(good), Some(total)) => Objective::Ratio { good, total },
+            (Some(_), None, ..) => return Err("slo: hist= needs max_us= (or max_ms=/max_ns=)".into()),
+            _ => {
+                return Err(
+                    "slo: give either hist=+max_us= or good=+total=, not a mix".into(),
+                )
+            }
+        };
+        Ok(SloRule { name, objective, target, fast_ms: (fast_s * 1e3) as u64, slow_ms: (slow_s * 1e3) as u64, burn })
+    }
+}
+
+/// The latest evaluation of one rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertStatus {
+    /// Rule name.
+    pub name: String,
+    /// Firing right now (both windows burning ≥ threshold).
+    pub firing: bool,
+    /// Fired at any point since the engine started (latched).
+    pub ever_fired: bool,
+    /// Error rate over the fast window.
+    pub fast_error_rate: f64,
+    /// Error rate over the slow window.
+    pub slow_error_rate: f64,
+    /// Burn rate over the fast window (`error / (1 − target)`).
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// The rule's burn-rate threshold, echoed for dashboards.
+    pub burn_threshold: f64,
+}
+
+/// Evaluates a set of [`SloRule`]s against a window store.
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    state: Mutex<Vec<AlertStatus>>,
+}
+
+impl SloEngine {
+    /// An engine over `rules` (empty is fine: nothing ever fires).
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let state = rules
+            .iter()
+            .map(|r| AlertStatus {
+                name: r.name.clone(),
+                firing: false,
+                ever_fired: false,
+                fast_error_rate: 0.0,
+                slow_error_rate: 0.0,
+                fast_burn: 0.0,
+                slow_burn: 0.0,
+                burn_threshold: r.burn,
+            })
+            .collect();
+        Self { rules, state: Mutex::new(state) }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Re-evaluate every rule against `window` (call once per tick).
+    /// Returns the updated statuses.
+    pub fn evaluate(&self, window: &WindowStore) -> Vec<AlertStatus> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        for (rule, st) in self.rules.iter().zip(state.iter_mut()) {
+            let fast = error_rate(&rule.objective, window, rule.fast_ms);
+            let slow = error_rate(&rule.objective, window, rule.slow_ms);
+            let budget = 1.0 - rule.target;
+            st.fast_error_rate = fast;
+            st.slow_error_rate = slow;
+            st.fast_burn = fast / budget;
+            st.slow_burn = slow / budget;
+            st.firing = st.fast_burn >= rule.burn && st.slow_burn >= rule.burn;
+            st.ever_fired |= st.firing;
+        }
+        state.clone()
+    }
+
+    /// Statuses from the most recent [`SloEngine::evaluate`] call.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Whether any rule is firing right now.
+    pub fn any_firing(&self) -> bool {
+        self.statuses().iter().any(|s| s.firing)
+    }
+
+    /// Whether any rule has ever fired (the `--slo-fail` latch).
+    pub fn any_ever_fired(&self) -> bool {
+        self.statuses().iter().any(|s| s.ever_fired)
+    }
+
+    /// The `/alerts` document: a JSON array of alert statuses.
+    pub fn alerts_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for s in self.statuses() {
+            w.begin_object();
+            w.key("name");
+            w.string(&s.name);
+            w.key("firing");
+            w.boolean(s.firing);
+            w.key("ever_fired");
+            w.boolean(s.ever_fired);
+            w.key("fast_error_rate");
+            w.number_f64(s.fast_error_rate);
+            w.key("slow_error_rate");
+            w.number_f64(s.slow_error_rate);
+            w.key("fast_burn");
+            w.number_f64(s.fast_burn);
+            w.key("slow_burn");
+            w.number_f64(s.slow_burn);
+            w.key("burn_threshold");
+            w.number_f64(s.burn_threshold);
+            w.end_object();
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine").field("rules", &self.rules.len()).finish()
+    }
+}
+
+/// Error rate for an objective over the trailing `window_ms`.
+/// No data ⇒ 0.0 (absence of traffic does not burn budget).
+fn error_rate(objective: &Objective, window: &WindowStore, window_ms: u64) -> f64 {
+    let ticks = window.ticks_for_ms(window_ms);
+    match objective {
+        Objective::Latency { hist, max_ns } => {
+            match window.rolling(hist, ticks).map(|r| r.kind) {
+                Some(RollingKind::Hist { snap, .. }) if snap.count > 0 => {
+                    snap.frac_above(*max_ns)
+                }
+                _ => 0.0,
+            }
+        }
+        Objective::Ratio { good, total } => {
+            let read = |name: &str| match window.rolling(name, ticks).map(|r| r.kind) {
+                Some(RollingKind::Counter { delta, .. }) => delta,
+                _ => 0,
+            };
+            let t = read(total);
+            if t == 0 {
+                return 0.0;
+            }
+            let g = read(good).min(t);
+            1.0 - g as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::window::WindowConfig;
+
+    fn store() -> WindowStore {
+        WindowStore::new(WindowConfig { tick_ms: 1_000, capacity: 64 })
+    }
+
+    #[test]
+    fn parses_latency_and_ratio_rules() {
+        let r = SloRule::parse(
+            "name=search_p99 hist=sim.search_ns max_us=250 target=0.99 fast=10 slow=60 burn=2",
+        )
+        .unwrap();
+        assert_eq!(r.name, "search_p99");
+        assert_eq!(
+            r.objective,
+            Objective::Latency { hist: "sim.search_ns".into(), max_ns: 250_000 }
+        );
+        assert_eq!((r.fast_ms, r.slow_ms, r.burn), (10_000, 60_000, 2.0));
+
+        let r = SloRule::parse(
+            "name=bookings good=req{outcome=\"booked\"} total=req_all target=0.9",
+        )
+        .unwrap();
+        assert_eq!(
+            r.objective,
+            Objective::Ratio { good: "req{outcome=\"booked\"}".into(), total: "req_all".into() }
+        );
+        assert_eq!((r.fast_ms, r.slow_ms, r.burn), (10_000, 60_000, 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "hist=x max_us=1 target=0.9",              // no name
+            "name=a hist=x target=0.9",                // hist without threshold
+            "name=a good=g target=0.9",                // ratio missing total
+            "name=a hist=x max_us=1 good=g total=t target=0.9", // mixed
+            "name=a hist=x max_us=1 target=1.5",       // target out of range
+            "name=a hist=x max_us=1 target=0.9 fast=60 slow=10", // fast > slow
+            "name=a hist=x max_us=1 target=0.9 burn=0", // non-positive burn
+            "name=a hist=x max_us=abc target=0.9",     // not a number
+            "name=a frobnicate=1 target=0.9",          // unknown key
+            "name=a notkeyvalue target=0.9",           // not key=value
+        ] {
+            assert!(SloRule::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn latency_rule_fires_on_sustained_slowness_and_clears() {
+        let reg = Registry::new();
+        let w = store();
+        let h = reg.histogram("lat_ns");
+        let rule = SloRule::parse(
+            "name=p99 hist=lat_ns max_us=1 target=0.9 fast=2 slow=5 burn=1",
+        )
+        .unwrap();
+        let slo = SloEngine::new(vec![rule]);
+
+        // Healthy: everything below 1 µs.
+        for _ in 0..5 {
+            for _ in 0..100 {
+                h.record(100);
+            }
+            w.tick(&reg);
+            let st = slo.evaluate(&w);
+            assert!(!st[0].firing, "healthy traffic must not fire: {st:?}");
+        }
+
+        // Sustained slowness: everything above the threshold.
+        let mut fired = false;
+        for _ in 0..6 {
+            for _ in 0..100 {
+                h.record(5_000_000);
+            }
+            w.tick(&reg);
+            fired |= slo.evaluate(&w)[0].firing;
+        }
+        assert!(fired, "sustained slowness must fire");
+        assert!(slo.any_ever_fired());
+
+        // Recovery: fast window clears before the slow one, and the
+        // alert stops firing while ever_fired stays latched.
+        for _ in 0..5 {
+            for _ in 0..100 {
+                h.record(100);
+            }
+            w.tick(&reg);
+            slo.evaluate(&w);
+        }
+        let st = slo.statuses();
+        assert!(!st[0].firing, "alert must clear after recovery: {st:?}");
+        assert!(st[0].ever_fired, "the latch must survive recovery");
+    }
+
+    #[test]
+    fn ratio_rule_uses_good_over_total() {
+        let reg = Registry::new();
+        let w = store();
+        let good = reg.counter("req_good");
+        let total = reg.counter("req_total");
+        let rule =
+            SloRule::parse("name=succ good=req_good total=req_total target=0.5 fast=1 slow=2 burn=1")
+                .unwrap();
+        let slo = SloEngine::new(vec![rule]);
+
+        // 9/10 good: error 0.1 < budget 0.5 ⇒ quiet.
+        good.add(9);
+        total.add(10);
+        w.tick(&reg);
+        assert!(!slo.evaluate(&w)[0].firing);
+
+        // 1/10 good: error 0.9, burn 1.8 ≥ 1 in both windows ⇒ fires.
+        good.add(1);
+        total.add(10);
+        w.tick(&reg);
+        let st = slo.evaluate(&w);
+        assert!(st[0].firing, "{st:?}");
+        assert!(st[0].fast_burn > 1.0);
+    }
+
+    #[test]
+    fn no_traffic_burns_no_budget() {
+        let reg = Registry::new();
+        let w = store();
+        reg.histogram("quiet_ns");
+        let rule =
+            SloRule::parse("name=q hist=quiet_ns max_us=1 target=0.99 fast=1 slow=2 burn=1").unwrap();
+        let slo = SloEngine::new(vec![rule]);
+        w.tick(&reg);
+        let st = slo.evaluate(&w);
+        assert!(!st[0].firing);
+        assert_eq!(st[0].fast_error_rate, 0.0);
+    }
+
+    #[test]
+    fn alerts_json_is_parseable() {
+        let rule =
+            SloRule::parse("name=a hist=x max_us=1 target=0.9 fast=1 slow=2 burn=1").unwrap();
+        let slo = SloEngine::new(vec![rule]);
+        let doc = crate::json::parse(&slo.alerts_json()).unwrap();
+        let arr = doc.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(arr[0].get("firing"), Some(&crate::json::JsonValue::Bool(false)));
+    }
+}

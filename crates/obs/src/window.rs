@@ -1,0 +1,369 @@
+//! Windowed time series: rolling rates and percentiles over a bounded
+//! ring of per-tick deltas.
+//!
+//! A [`WindowStore`] is ticked on a fixed cadence (the ops server's
+//! ticker thread, or a test calling [`WindowStore::tick`] directly).
+//! Each tick snapshots every series in a [`Registry`], subtracts the
+//! previous cumulative snapshot ([`HistogramSnapshot::delta`] for
+//! histograms, plain subtraction for counters) and pushes the interval
+//! delta into a ring of bounded length. Rolling statistics over the
+//! last `n` ticks are then the merge of `n` deltas
+//! ([`HistogramSnapshot::merge`] / sums) — honest windowed
+//! percentiles, not decayed approximations, with memory bounded by
+//! `capacity × live series`.
+//!
+//! ```
+//! use xar_obs::{window::{WindowConfig, WindowStore}, Registry};
+//!
+//! let reg = Registry::new();
+//! let w = WindowStore::new(WindowConfig { tick_ms: 1_000, capacity: 8 });
+//! reg.histogram("lat_ns").record(500);
+//! w.tick(&reg);
+//! reg.histogram("lat_ns").record(3_000);
+//! w.tick(&reg);
+//! let r = w.rolling("lat_ns", 1).unwrap(); // last tick only
+//! let xar_obs::window::RollingKind::Hist { snap, rate_per_s } = r.kind else { panic!() };
+//! assert_eq!(snap.count, 1); // the 500 ns sample is outside the window
+//! assert!(rate_per_s > 0.9 && rate_per_s < 1.1);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::{MetricSnapshot, Registry};
+
+/// Window-store tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Nominal milliseconds between ticks (used to convert tick counts
+    /// into rates and seconds; the caller drives actual ticking).
+    pub tick_ms: u64,
+    /// Ticks retained in the ring (older deltas fall off).
+    pub capacity: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        // 1 s ticks, 64 retained ⇒ rolling windows up to ~1 minute.
+        Self { tick_ms: 1_000, capacity: 64 }
+    }
+}
+
+/// One series' interval delta for a single tick.
+#[derive(Debug, Clone, PartialEq)]
+enum Delta {
+    /// Counter increment during the tick.
+    Counter(u64),
+    /// Gauge value at the end of the tick (last-write-wins).
+    Gauge(i64),
+    /// Histogram samples recorded during the tick.
+    Hist(HistogramSnapshot),
+}
+
+/// Cumulative state at the previous tick, for subtraction.
+enum LastState {
+    Counter(u64),
+    Hist(HistogramSnapshot),
+}
+
+struct Inner {
+    /// Previous cumulative snapshot per series (rendered name key).
+    last: BTreeMap<String, LastState>,
+    /// Ring of per-tick deltas, newest at the back.
+    ring: VecDeque<BTreeMap<String, Delta>>,
+    /// Ticks observed since creation (monotone; ring holds the tail).
+    ticks: u64,
+}
+
+/// Rolling statistics over the last `ticks` ticks of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rolling {
+    /// Ticks actually covered (≤ requested when the ring is young).
+    pub ticks: usize,
+    /// Window length in seconds (`ticks × tick_ms / 1000`).
+    pub seconds: f64,
+    /// The windowed statistic.
+    pub kind: RollingKind,
+}
+
+/// The windowed statistic per metric kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RollingKind {
+    /// Counter: total increment over the window and the per-second rate.
+    Counter {
+        /// Increment over the window.
+        delta: u64,
+        /// `delta / seconds`.
+        rate_per_s: f64,
+    },
+    /// Gauge: the most recent value inside the window.
+    Gauge {
+        /// Last observed value.
+        last: i64,
+    },
+    /// Histogram: the merged interval distribution and sample rate.
+    Hist {
+        /// Merge of the window's per-tick deltas (honest windowed
+        /// percentiles via `snap.p50` / `snap.quantile`).
+        snap: HistogramSnapshot,
+        /// Samples per second over the window.
+        rate_per_s: f64,
+    },
+}
+
+/// A bounded ring of per-tick series deltas over one [`Registry`].
+pub struct WindowStore {
+    cfg: WindowConfig,
+    inner: Mutex<Inner>,
+}
+
+impl WindowStore {
+    /// An empty store.
+    pub fn new(cfg: WindowConfig) -> Self {
+        assert!(cfg.capacity > 0, "window capacity must be positive");
+        assert!(cfg.tick_ms > 0, "tick period must be positive");
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                last: BTreeMap::new(),
+                ring: VecDeque::new(),
+                ticks: 0,
+            }),
+        }
+    }
+
+    /// The configured tick period, milliseconds.
+    pub fn tick_ms(&self) -> u64 {
+        self.cfg.tick_ms
+    }
+
+    /// Ticks observed since creation.
+    pub fn ticks(&self) -> u64 {
+        self.lock().ticks
+    }
+
+    /// How many ticks cover `window_ms`, clamped to the ring capacity.
+    pub fn ticks_for_ms(&self, window_ms: u64) -> usize {
+        (window_ms.div_ceil(self.cfg.tick_ms) as usize).clamp(1, self.cfg.capacity)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Take one tick: snapshot `registry`, push the delta since the
+    /// previous tick, evict the oldest tick beyond capacity.
+    pub fn tick(&self, registry: &Registry) {
+        let series = registry.series();
+        let mut inner = self.lock();
+        let mut deltas: BTreeMap<String, Delta> = BTreeMap::new();
+        for s in series {
+            let key = s.rendered_name();
+            match s.value {
+                MetricSnapshot::Counter(now) => {
+                    let prev = match inner.last.get(&key) {
+                        Some(LastState::Counter(p)) => *p,
+                        _ => 0,
+                    };
+                    deltas.insert(key.clone(), Delta::Counter(now.saturating_sub(prev)));
+                    inner.last.insert(key, LastState::Counter(now));
+                }
+                MetricSnapshot::Gauge(now) => {
+                    // Gauges are levels, not rates: the delta is the level.
+                    deltas.insert(key, Delta::Gauge(now));
+                }
+                MetricSnapshot::Histogram(now) => {
+                    let d = match inner.last.get(&key) {
+                        Some(LastState::Hist(p)) => now.delta(p),
+                        _ => now.clone(),
+                    };
+                    deltas.insert(key.clone(), Delta::Hist(d));
+                    inner.last.insert(key, LastState::Hist(now));
+                }
+            }
+        }
+        inner.ring.push_back(deltas);
+        inner.ticks += 1;
+        while inner.ring.len() > self.cfg.capacity {
+            inner.ring.pop_front();
+        }
+    }
+
+    /// Rolling statistics for `series` (rendered name, e.g.
+    /// `engine.search_ns{tier="t2"}`) over the last `ticks` ticks.
+    /// `None` when the series never appeared in the covered ticks.
+    pub fn rolling(&self, series: &str, ticks: usize) -> Option<Rolling> {
+        let inner = self.lock();
+        let avail = inner.ring.len();
+        let n = ticks.clamp(1, self.cfg.capacity).min(avail);
+        if n == 0 {
+            return None;
+        }
+        let seconds = n as f64 * self.cfg.tick_ms as f64 / 1_000.0;
+        let mut acc: Option<RollingKind> = None;
+        // Newest-first so a gauge keeps its most recent value.
+        for tickmap in inner.ring.iter().rev().take(n) {
+            let Some(d) = tickmap.get(series) else { continue };
+            acc = Some(match (acc, d) {
+                (None, Delta::Counter(c)) => RollingKind::Counter { delta: *c, rate_per_s: 0.0 },
+                (None, Delta::Gauge(g)) => RollingKind::Gauge { last: *g },
+                (None, Delta::Hist(h)) => {
+                    RollingKind::Hist { snap: h.clone(), rate_per_s: 0.0 }
+                }
+                (Some(RollingKind::Counter { delta, .. }), Delta::Counter(c)) => {
+                    RollingKind::Counter { delta: delta + c, rate_per_s: 0.0 }
+                }
+                (Some(g @ RollingKind::Gauge { .. }), Delta::Gauge(_)) => g, // newest wins
+                (Some(RollingKind::Hist { snap, .. }), Delta::Hist(h)) => {
+                    RollingKind::Hist { snap: snap.merge(h), rate_per_s: 0.0 }
+                }
+                // A series changed kind mid-ring (registry misuse):
+                // keep what we have.
+                (Some(acc), _) => acc,
+            });
+        }
+        let kind = match acc? {
+            RollingKind::Counter { delta, .. } => RollingKind::Counter {
+                delta,
+                rate_per_s: delta as f64 / seconds,
+            },
+            RollingKind::Hist { snap, .. } => {
+                let rate = snap.count as f64 / seconds;
+                RollingKind::Hist { snap, rate_per_s: rate }
+            }
+            g => g,
+        };
+        Some(Rolling { ticks: n, seconds, kind })
+    }
+
+    /// Every series name seen in the retained ticks, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        let inner = self.lock();
+        let mut names: Vec<String> = inner
+            .ring
+            .iter()
+            .flat_map(|t| t.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+impl std::fmt::Debug for WindowStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("WindowStore")
+            .field("tick_ms", &self.cfg.tick_ms)
+            .field("capacity", &self.cfg.capacity)
+            .field("ticks", &inner.ticks)
+            .field("retained", &inner.ring.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(capacity: usize) -> WindowStore {
+        WindowStore::new(WindowConfig { tick_ms: 1_000, capacity })
+    }
+
+    #[test]
+    fn counter_rates_come_from_deltas() {
+        let reg = Registry::new();
+        let w = store(8);
+        let c = reg.counter("reqs");
+        c.add(10);
+        w.tick(&reg);
+        c.add(30);
+        w.tick(&reg);
+        // Last tick: +30.
+        let r = w.rolling("reqs", 1).unwrap();
+        assert_eq!(
+            r.kind,
+            RollingKind::Counter { delta: 30, rate_per_s: 30.0 }
+        );
+        // Both ticks: +40 over 2 s.
+        let r = w.rolling("reqs", 2).unwrap();
+        assert_eq!(
+            r.kind,
+            RollingKind::Counter { delta: 40, rate_per_s: 20.0 }
+        );
+    }
+
+    #[test]
+    fn histogram_windows_merge_deltas() {
+        let reg = Registry::new();
+        let w = store(8);
+        let h = reg.histogram("lat");
+        h.record(100);
+        w.tick(&reg);
+        h.record(1_000);
+        h.record(1_000);
+        w.tick(&reg);
+        let r = w.rolling("lat", 1).unwrap();
+        let RollingKind::Hist { snap, rate_per_s } = r.kind else { panic!("{r:?}") };
+        assert_eq!(snap.count, 2, "only the last tick's samples");
+        assert!(snap.p50 >= 900 && snap.p50 <= 1_100);
+        assert!((rate_per_s - 2.0).abs() < 1e-9);
+        let r2 = w.rolling("lat", 8).unwrap();
+        assert_eq!(r2.ticks, 2, "ring only has two ticks yet");
+        let RollingKind::Hist { snap, .. } = r2.kind else { panic!() };
+        assert_eq!(snap.count, 3);
+    }
+
+    #[test]
+    fn ring_evicts_old_ticks() {
+        let reg = Registry::new();
+        let w = store(2);
+        let c = reg.counter("x");
+        for _ in 0..5 {
+            c.add(1);
+            w.tick(&reg);
+        }
+        assert_eq!(w.ticks(), 5);
+        let r = w.rolling("x", 100).unwrap();
+        assert_eq!(r.ticks, 2, "capacity bounds the window");
+        let RollingKind::Counter { delta, .. } = r.kind else { panic!() };
+        assert_eq!(delta, 2);
+    }
+
+    #[test]
+    fn gauges_report_last_value() {
+        let reg = Registry::new();
+        let w = store(4);
+        let g = reg.gauge("depth");
+        g.set(3);
+        w.tick(&reg);
+        g.set(7);
+        w.tick(&reg);
+        let r = w.rolling("depth", 4).unwrap();
+        assert_eq!(r.kind, RollingKind::Gauge { last: 7 });
+    }
+
+    #[test]
+    fn labeled_series_are_independent_windows() {
+        let reg = Registry::new();
+        let w = store(4);
+        reg.counter_with("req", &[("outcome", "booked")]).add(5);
+        reg.counter_with("req", &[("outcome", "created")]).add(2);
+        w.tick(&reg);
+        let booked = w.rolling("req{outcome=\"booked\"}", 1).unwrap();
+        let RollingKind::Counter { delta, .. } = booked.kind else { panic!() };
+        assert_eq!(delta, 5);
+        assert!(w.rolling("req{outcome=\"missing\"}", 1).is_none());
+        assert_eq!(w.series_names().len(), 2);
+    }
+
+    #[test]
+    fn ticks_for_ms_rounds_up_and_clamps() {
+        let w = WindowStore::new(WindowConfig { tick_ms: 250, capacity: 64 });
+        assert_eq!(w.ticks_for_ms(1_000), 4);
+        assert_eq!(w.ticks_for_ms(10_000), 40);
+        assert_eq!(w.ticks_for_ms(60_000), 64, "clamped to capacity");
+        assert_eq!(w.ticks_for_ms(1), 1);
+    }
+}

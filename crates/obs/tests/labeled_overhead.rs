@@ -1,0 +1,76 @@
+//! Overhead guard for labeled-metric lookup after setup.
+//!
+//! The label contract (DESIGN.md §5d): once a series exists, a
+//! `histogram_with` / `counter_with` call with an equal label set is a
+//! read-lock lookup that performs **zero allocations** — comparisons
+//! run against the borrowed query pairs, and the returned handle is an
+//! `Arc` clone. Recording through a held handle is the same wait-free
+//! path as an unlabeled metric. A counting global allocator turns both
+//! claims into hard tests (in its own integration binary so no other
+//! test's allocations are counted).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+static ALLOCS: CountingAlloc = CountingAlloc { allocs: AtomicU64::new(0) };
+
+#[global_allocator]
+static GLOBAL: &CountingAlloc = &ALLOCS;
+
+unsafe impl GlobalAlloc for &'static CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+const ITERS: u64 = 100_000;
+
+#[test]
+fn labeled_lookup_after_setup_is_allocation_free() {
+    let reg = xar_obs::Registry::new();
+    // Setup: creating the series allocates (interning, map entry).
+    let handle = reg.histogram_with("ops.search_ns", &[("tier", "t2"), ("cluster", "b5")]);
+    let counter = reg.counter_with("ops.requests", &[("outcome", "booked")]);
+    handle.record(1);
+    counter.inc();
+
+    // Steady state: lookups with an equal label set (either pair
+    // order) and recording through held handles never allocate.
+    let before = ALLOCS.allocs.load(Ordering::Relaxed);
+    for i in 0..ITERS {
+        let h = if i % 2 == 0 {
+            reg.histogram_with("ops.search_ns", &[("tier", "t2"), ("cluster", "b5")])
+        } else {
+            reg.histogram_with("ops.search_ns", &[("cluster", "b5"), ("tier", "t2")])
+        };
+        h.record(i);
+        black_box(&h);
+        let c = reg.counter_with("ops.requests", &[("outcome", "booked")]);
+        c.inc();
+        black_box(&c);
+    }
+    for i in 0..ITERS {
+        handle.record(i);
+        counter.inc();
+    }
+    let after = ALLOCS.allocs.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "labeled lookup-after-setup allocated {} times over {} iterations",
+        after - before,
+        2 * ITERS,
+    );
+    assert_eq!(handle.count(), 1 + 2 * ITERS);
+    assert_eq!(counter.get(), 1 + 2 * ITERS);
+}

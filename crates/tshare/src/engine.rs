@@ -280,11 +280,17 @@ impl TShareEngine {
     /// makes T-Share's search cost grow with `k` (Figure 5a).
     pub fn search(&self, req: &TShareRequest, k: usize) -> Vec<TShareMatch> {
         self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
         let _span = xar_obs::SpanTimer::new(Arc::clone(&self.metrics.search_ns));
         let mut tspan = xar_obs::trace::span("search");
         if k == 0 {
             return vec![];
         }
+        // Outcome-labeled latency: misses scan the full ring budget, so
+        // their distribution is the interesting one on a dashboard.
+        let outcome_hist = |hit: bool| {
+            &self.metrics.search_ns_outcome[usize::from(!hit)]
+        };
         let pickup_node = self.locator.nearest(&self.graph, &req.pickup).0;
         let dropoff_node = self.locator.nearest(&self.graph, &req.dropoff).0;
         let p_center = self.grid.grid_of(&req.pickup);
@@ -356,6 +362,7 @@ impl TShareEngine {
                     out.push(m);
                     if out.len() >= k {
                         self.metrics.search_candidates.record(checked.len() as u64);
+                        outcome_hist(true).record(t0.elapsed().as_nanos() as u64);
                         tspan.attr("candidates", checked.len());
                         tspan.attr("matches", out.len());
                         return out;
@@ -364,6 +371,7 @@ impl TShareEngine {
             }
         }
         self.metrics.search_candidates.record(checked.len() as u64);
+        outcome_hist(!out.is_empty()).record(t0.elapsed().as_nanos() as u64);
         tspan.attr("candidates", checked.len());
         tspan.attr("matches", out.len());
         out

@@ -9,6 +9,7 @@
 //! | `tshare.book_ns` | histogram | ns per booking |
 //! | `tshare.track_ns` | histogram | ns per tracking sweep |
 //! | `tshare.search_candidates` | histogram | taxis feasibility-checked per search |
+//! | `tshare.search_ns{outcome="hit"\|"miss"}` | histogram | search latency split by whether any match was found (misses pay the full ring expansion, so their latency profile differs) |
 
 use std::sync::Arc;
 
@@ -30,7 +31,14 @@ pub struct TShareMetrics {
     /// per search — each costs up to 4 shortest paths, which is the
     /// cost XAR's index avoids.
     pub search_candidates: Arc<Histogram>,
+    /// `tshare.search_ns{outcome=…}` — search latency by outcome,
+    /// index-aligned with [`SEARCH_OUTCOMES`] (`hit` = at least one
+    /// match returned, `miss` = none).
+    pub search_ns_outcome: [Arc<Histogram>; 2],
 }
+
+/// The `outcome` label values for [`TShareMetrics::search_ns_outcome`].
+pub const SEARCH_OUTCOMES: [&str; 2] = ["hit", "miss"];
 
 impl TShareMetrics {
     /// Fresh metrics over a new private registry.
@@ -46,7 +54,9 @@ impl TShareMetrics {
         let book_ns = registry.histogram("tshare.book_ns");
         let track_ns = registry.histogram("tshare.track_ns");
         let search_candidates = registry.histogram("tshare.search_candidates");
-        Self { registry, search_ns, create_ns, book_ns, track_ns, search_candidates }
+        let search_ns_outcome =
+            SEARCH_OUTCOMES.map(|o| registry.histogram_with("tshare.search_ns", &[("outcome", o)]));
+        Self { registry, search_ns, create_ns, book_ns, track_ns, search_candidates, search_ns_outcome }
     }
 
     /// The registry backing these handles.
@@ -70,5 +80,15 @@ mod tests {
         let m = TShareMetrics::new();
         m.search_ns.record(5);
         assert!(m.registry().snapshot_json().contains("\"tshare.search_ns\""));
+    }
+
+    #[test]
+    fn outcome_series_are_distinct() {
+        let m = TShareMetrics::new();
+        m.search_ns_outcome[0].record(10);
+        m.search_ns_outcome[1].record(20);
+        let json = m.registry().snapshot_json();
+        assert!(json.contains("tshare.search_ns{outcome=\\\"hit\\\"}"), "{json}");
+        assert!(json.contains("tshare.search_ns{outcome=\\\"miss\\\"}"), "{json}");
     }
 }

@@ -159,6 +159,13 @@ pub fn run_simulation<B: RideBackend>(
     let book_h = registry.histogram("sim.book_ns");
     let create_h = registry.histogram("sim.create_ns");
     let track_h = registry.histogram("sim.track_ns");
+    // Per-outcome request counters: the live operational plane reads
+    // booking-success SLOs off these (`sim.requests{outcome="booked"}`
+    // over `sim.requests_total`).
+    let requests_total = registry.counter("sim.requests_total");
+    let req_booked = registry.counter_with("sim.requests", &[("outcome", "booked")]);
+    let req_created = registry.counter_with("sim.requests", &[("outcome", "created")]);
+    let req_unservable = registry.counter_with("sim.requests", &[("outcome", "unservable")]);
     let system = backend.name();
     let mut pending: Vec<PendingLifecycle> = Vec::new();
     let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
@@ -227,6 +234,8 @@ pub fn run_simulation<B: RideBackend>(
             } = res
             {
                 report.booked += 1;
+                requests_total.inc();
+                req_booked.inc();
                 report.detour_actual_m.push(actual_detour_m);
                 report.detour_estimated_m.push(estimated_detour_m);
                 report.detour_excess_m.push((actual_detour_m - budget_before_m).max(0.0));
@@ -256,12 +265,15 @@ pub fn run_simulation<B: RideBackend>(
             let ns = t0.elapsed().as_nanos() as u64;
             report.create_ns.push(ns);
             create_h.record(ns);
+            requests_total.inc();
             if ok {
                 report.created += 1;
+                req_created.inc();
                 xar_obs::trace::instant("request.created", AttrList::new());
                 troot.attr("outcome", "created");
             } else {
                 report.unservable += 1;
+                req_unservable.inc();
                 xar_obs::trace::instant("request.unservable", AttrList::new());
                 troot.attr("outcome", "unservable");
             }

@@ -29,14 +29,35 @@
 //! xar trace --in trace.json [--top N] [--check]
 //!     Print the N slowest request timelines (per-span self-time,
 //!     lifecycle milestones) from a `--trace-out` file — or, with
-//!     `--check`, validate the file (valid JSON, at least one complete
-//!     request timeline, drop counter present) and exit non-zero when
-//!     it is malformed.
+//!     `--check`, validate the file and exit with a distinct code per
+//!     failure class: 2 = unreadable / invalid JSON, 3 = no complete
+//!     request timeline, 4 = missing drop counter.
+//!
+//! xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]
+//!     Live terminal dashboard over a process started with
+//!     `xar simulate --serve ADDR`: scrapes `/metrics`, renders rolling
+//!     p50/p99/throughput, per-cluster ride occupancy and firing SLO
+//!     alerts. `--frames N` exits after N refreshes (CI); `--plain`
+//!     skips the ANSI screen clearing.
 //! ```
+//!
+//! Live operational flags on `simulate`: `--serve ADDR` starts the
+//! embedded ops-plane HTTP server (`/metrics`, `/snapshot`, `/health`,
+//! `/alerts`; `ADDR` may use port 0 — the bound address is printed);
+//! `--slo RULE` (repeatable) installs burn-rate SLO rules (syntax in
+//! EXPERIMENTS.md); `--slo-fail` exits with code 8 when any rule fired
+//! during the run; `--tick-ms N` sets the windowing tick;
+//! `--linger-s F` keeps the process (and server) alive after the
+//! simulation so scrapers can observe the final state.
 
 use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
 use std::sync::Arc;
+
+use xar_obs::serve::OpsPlane;
+use xar_obs::slo::{SloEngine, SloRule};
+use xar_obs::window::{WindowConfig, WindowStore};
 
 use xar_obs::chrome::{export_chrome, parse_chrome, Attrs, Timeline};
 use xar_obs::json::JsonValue;
@@ -51,30 +72,56 @@ use xhare_a_ride::workload::{
 };
 
 /// Flags that take no value (presence alone means `true`).
-const SWITCHES: &[&str] = &["check"];
+const SWITCHES: &[&str] = &["check", "slo-fail", "plain"];
+
+/// A command error carrying its process exit code, so callers (CI, the
+/// smoke tests) can branch on the failure class.
+struct CmdError {
+    code: u8,
+    msg: String,
+}
+
+impl CmdError {
+    /// A generic failure (exit code 1).
+    fn general(msg: impl Into<String>) -> Self {
+        Self { code: 1, msg: msg.into() }
+    }
+
+    /// A failure with a specific exit code.
+    fn coded(code: u8, msg: impl Into<String>) -> Self {
+        Self { code, msg: msg.into() }
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> Self {
+        CmdError::general(msg)
+    }
+}
 
 /// Minimal `--key value` flag parser (with a fixed set of valueless
-/// switches).
+/// switches). Repeated flags accumulate: `get`/`get_opt` read the last
+/// occurrence, [`Flags::get_all`] returns every one (`--slo` rules).
 struct Flags {
-    values: HashMap<String, String>,
+    values: HashMap<String, Vec<String>>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
-        let mut values = HashMap::new();
+        let mut values: HashMap<String, Vec<String>> = HashMap::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{a}'"));
             };
             if SWITCHES.contains(&key) {
-                values.insert(key.to_string(), "true".to_string());
+                values.entry(key.to_string()).or_default().push("true".to_string());
                 continue;
             }
             let Some(v) = it.next() else {
                 return Err(format!("flag --{key} is missing a value"));
             };
-            values.insert(key.to_string(), v.clone());
+            values.entry(key.to_string()).or_default().push(v.clone());
         }
         Ok(Self { values })
     }
@@ -84,14 +131,18 @@ impl Flags {
     }
 
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.values.get(key) {
+        match self.get_opt(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
         }
     }
 
     fn get_opt(&self, key: &str) -> Option<&str> {
-        self.values.get(key).map(String::as_str)
+        self.values.get(key).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    fn get_all(&self, key: &str) -> &[String] {
+        self.values.get(key).map(Vec::as_slice).unwrap_or_default()
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -100,7 +151,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare]\n  xar trace --in FILE [--top N] [--check]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -155,7 +206,7 @@ fn inspect(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(flags: &Flags) -> Result<(), String> {
+fn simulate(flags: &Flags) -> Result<(), CmdError> {
     let path = flags.require("region")?;
     let trips_n: usize = flags.get("trips", 10_000)?;
     let seed: u64 = flags.get("seed", 0x7A11)?;
@@ -170,7 +221,7 @@ fn simulate(flags: &Flags) -> Result<(), String> {
         let sample: f64 = flags.get("trace-sample", 0.01)?;
         let buffer: usize = flags.get("trace-buffer", 262_144)?;
         if !(0.0..=1.0).contains(&sample) {
-            return Err("--trace-sample must be a probability in [0, 1]".into());
+            return Err(CmdError::general("--trace-sample must be a probability in [0, 1]"));
         }
         let rec = xar_obs::trace::recorder();
         rec.configure(TraceConfig {
@@ -191,6 +242,67 @@ fn simulate(flags: &Flags) -> Result<(), String> {
     eprintln!("simulating {} trips on {} clusters...", trips.len(), region.cluster_count());
     let mut backend = XarBackend::new(XarEngine::new(Arc::clone(&region), EngineConfig::default()));
     let cfg = SimConfig { walk_limit_m: walk, window_s: window, detour_limit_m: detour, k, ..Default::default() };
+
+    // Live operational plane: windowed series + SLO rules + optionally
+    // the embedded HTTP server, all over the backend's own registry.
+    let serve_addr = flags.get_opt("serve").map(str::to_string);
+    let slo_fail = flags.switch("slo-fail");
+    let tick_ms: u64 = flags.get("tick-ms", 1_000)?;
+    let linger_s: f64 = flags.get("linger-s", 0.0)?;
+    if tick_ms == 0 {
+        return Err(CmdError::general("--tick-ms must be positive"));
+    }
+    let mut rules = Vec::new();
+    for spec in flags.get_all("slo") {
+        rules.push(SloRule::parse(spec).map_err(|e| format!("--slo '{spec}': {e}"))?);
+    }
+    let plane = if serve_addr.is_some() || !rules.is_empty() || slo_fail {
+        use xhare_a_ride::workload::RideBackend as _;
+        let registry = backend.registry().expect("the XAR backend keeps a registry");
+        // Ring capacity: enough ticks to cover the 60 s rolling window.
+        let capacity = (60_000_u64.div_ceil(tick_ms) as usize + 1).clamp(8, 4_096);
+        Some(OpsPlane {
+            registry,
+            window: Arc::new(WindowStore::new(WindowConfig { tick_ms, capacity })),
+            slo: Arc::new(SloEngine::new(rules)),
+        })
+    } else {
+        None
+    };
+    let mut server = None;
+    let mut inline_ticker = None;
+    if let Some(plane) = &plane {
+        if let Some(addr) = &serve_addr {
+            let s = xar_obs::serve::serve(addr.as_str(), plane.clone())
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            // The bound address line is machine-read (CI, `xar top`
+            // scripts) — keep its shape stable and flush it promptly.
+            println!("ops plane      : http://{}", s.local_addr());
+            std::io::stdout().flush().ok();
+            server = Some(s);
+        } else {
+            // SLO rules without a server still need a ticker so the
+            // burn-rate windows advance during the run.
+            let plane = plane.clone();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                let tick = std::time::Duration::from_millis(plane.window.tick_ms());
+                let slice = tick.min(std::time::Duration::from_millis(25));
+                let mut elapsed = std::time::Duration::ZERO;
+                while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= tick {
+                        elapsed = std::time::Duration::ZERO;
+                        plane.tick();
+                    }
+                }
+            });
+            inline_ticker = Some((stop, handle));
+        }
+    }
+
     let report = run_simulation(&mut backend, &trips, &cfg);
 
     println!("trips          : {}", trips.len());
@@ -231,7 +343,9 @@ fn simulate(flags: &Flags) -> Result<(), String> {
 
     if let Some(baseline) = flags.get_opt("baseline") {
         if baseline != "tshare" {
-            return Err(format!("unknown baseline '{baseline}' (only 'tshare' is supported)"));
+            return Err(CmdError::general(format!(
+                "unknown baseline '{baseline}' (only 'tshare' is supported)"
+            )));
         }
         eprintln!("replaying {} trips through the T-Share baseline...", trips.len());
         let mut ts = TShareBackend::new(TShareEngine::new(
@@ -257,6 +371,39 @@ fn simulate(flags: &Flags) -> Result<(), String> {
             "trace          : {path} ({} of {} traces kept, {} sampled out, {} events dropped)",
             st.kept_traces, st.started_traces, st.sampled_out_traces, st.dropped_events,
         );
+    }
+
+    if let Some(plane) = &plane {
+        // Keep the process (and server) alive so scrapers can observe
+        // the post-run state, then fold the final partial interval into
+        // the windows before the SLO verdict.
+        if linger_s > 0.0 {
+            eprintln!("lingering {linger_s} s for scrapers...");
+            std::thread::sleep(std::time::Duration::from_secs_f64(linger_s));
+        }
+        plane.tick();
+        if let Some(mut s) = server.take() {
+            s.shutdown();
+        }
+        if let Some((stop, handle)) = inline_ticker.take() {
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            let _ = handle.join();
+        }
+        let fired: Vec<String> = plane
+            .slo
+            .statuses()
+            .into_iter()
+            .filter(|s| s.ever_fired)
+            .map(|s| s.name)
+            .collect();
+        if !fired.is_empty() {
+            println!("slo fired      : {}", fired.join(", "));
+            if slo_fail {
+                return Err(CmdError::coded(8, format!("SLO burn-rate alert(s) fired: {}", fired.join(", "))));
+            }
+        } else if !plane.slo.rules().is_empty() {
+            println!("slo fired      : none");
+        }
     }
     Ok(())
 }
@@ -306,12 +453,16 @@ fn print_span(node: &xar_obs::chrome::SpanNode, root_start_us: f64, depth: usize
 }
 
 /// `xar trace`: inspect (or, with `--check`, validate) a Chrome trace
-/// file written by `xar simulate --trace-out`.
-fn trace_cmd(flags: &Flags) -> Result<(), String> {
+/// file written by `xar simulate --trace-out`. Check failures exit
+/// with a distinct code per class: 2 = unreadable / invalid JSON,
+/// 3 = no complete request timeline, 4 = missing drop counter.
+fn trace_cmd(flags: &Flags) -> Result<(), CmdError> {
     let path = flags.require("in")?;
     let top: usize = flags.get("top", 10)?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let parsed = parse_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CmdError::coded(2, format!("cannot read {path}: {e}")))?;
+    let parsed =
+        parse_chrome(&text).map_err(|e| CmdError::coded(2, format!("{path}: {e}")))?;
     let timelines = Timeline::build(&parsed);
     let requests: Vec<&Timeline> =
         timelines.iter().filter(|t| t.root.name == "request").collect();
@@ -322,10 +473,10 @@ fn trace_cmd(flags: &Flags) -> Result<(), String> {
         // complete request timeline, and self-describes its drop
         // accounting.
         if requests.is_empty() {
-            return Err(format!("{path}: no complete 'request' timeline"));
+            return Err(CmdError::coded(3, format!("{path}: no complete 'request' timeline")));
         }
         if !parsed.has_drop_counter {
-            return Err(format!("{path}: missing 'xar' drop-counter block"));
+            return Err(CmdError::coded(4, format!("{path}: missing 'xar' drop-counter block")));
         }
         println!(
             "ok: {} events, {} timelines ({} requests), {}/{} traces kept, {} events dropped",
@@ -374,6 +525,167 @@ fn trace_cmd(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// One HTTP GET over a plain `TcpStream` (the dashboard needs no HTTP
+/// client). Returns the response body; errors on any non-200 status.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("cannot write to {addr}: {e}"))?;
+    let mut buf = String::new();
+    stream
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("cannot read from {addr}: {e}"))?;
+    let (head, body) = buf
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}{path}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Render one `xar top` dashboard frame from a parsed `/metrics`
+/// scrape: request counts by outcome, the rolling-window table,
+/// per-cluster ride occupancy, and SLO alert state.
+fn render_top_frame(p: &xar_obs::promtext::PromText) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    // Request outcomes (cumulative counters from the simulation).
+    let total = p.with_name("sim_requests_total").next().map(|s| s.value).unwrap_or(0.0);
+    let mut outcomes: Vec<(String, f64)> = p
+        .with_name("sim_requests")
+        .filter_map(|s| s.label("outcome").map(|o| (o.to_string(), s.value)))
+        .collect();
+    outcomes.sort_by(|a, b| a.0.cmp(&b.0));
+    let _ = write!(out, "requests: {total:.0}");
+    for (o, v) in &outcomes {
+        let _ = write!(out, "   {o} {v:.0}");
+    }
+    out.push('\n');
+
+    // Rolling windows: group xar_rolling samples by (metric, window).
+    let mut metrics: Vec<String> = Vec::new();
+    let mut table: HashMap<(String, String), HashMap<String, f64>> = HashMap::new();
+    for s in p.with_name("xar_rolling") {
+        let (Some(m), Some(w), Some(st)) = (s.label("metric"), s.label("window"), s.label("stat"))
+        else {
+            continue;
+        };
+        if !metrics.iter().any(|x| x == m) {
+            metrics.push(m.to_string());
+        }
+        table
+            .entry((m.to_string(), w.to_string()))
+            .or_default()
+            .insert(st.to_string(), s.value);
+    }
+    metrics.sort();
+    if !metrics.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<46} {:>6} {:>12} {:>12} {:>12}",
+            "rolling series", "window", "rate/s", "p50", "p99"
+        );
+        for m in &metrics {
+            // Latency histograms record nanoseconds; show them in µs.
+            let (scale, unit) = if m.contains("_ns") { (1e3, " µs") } else { (1.0, "") };
+            let mut first = true;
+            for &(w, _) in xar_obs::serve::ROLLING_WINDOWS {
+                let Some(stats) = table.get(&(m.clone(), w.to_string())) else { continue };
+                let fmt = |k: &str| {
+                    stats
+                        .get(k)
+                        .map(|v| format!("{:.1}{unit}", v / scale))
+                        .unwrap_or_else(|| "-".into())
+                };
+                let rate = stats
+                    .get("rate_per_s")
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                let name_col = if first { m.as_str() } else { "" };
+                first = false;
+                let _ = writeln!(
+                    out,
+                    "{:<46} {:>6} {:>12} {:>12} {:>12}",
+                    name_col,
+                    w,
+                    rate,
+                    fmt("p50"),
+                    fmt("p99")
+                );
+            }
+        }
+    }
+
+    // Per-cluster live-ride occupancy.
+    let mut occ: Vec<(String, f64)> = p
+        .with_name("engine_cluster_rides")
+        .filter_map(|s| s.label("cluster").map(|c| (c.to_string(), s.value)))
+        .collect();
+    occ.sort_by(|a, b| a.0.cmp(&b.0));
+    if !occ.is_empty() {
+        out.push_str("\nrides/cluster:");
+        for (c, v) in &occ {
+            let _ = write!(out, "  {c}={v:.0}");
+        }
+        out.push('\n');
+    }
+
+    // SLO alert state with burn rates.
+    let mut alerts = String::new();
+    for s in p.with_name("xar_alert_firing") {
+        let Some(name) = s.label("name") else { continue };
+        let burn = |fam: &str| {
+            p.find(fam, &[("name", name)]).map(|b| b.value).unwrap_or(0.0)
+        };
+        let state = if s.value >= 1.0 { "FIRING" } else { "ok" };
+        let _ = writeln!(
+            alerts,
+            "  {name:<28} {state:<8} fast burn {:.2}   slow burn {:.2}",
+            burn("xar_alert_fast_burn"),
+            burn("xar_alert_slow_burn"),
+        );
+    }
+    if !alerts.is_empty() {
+        out.push_str("\nalerts:\n");
+        out.push_str(&alerts);
+    }
+    out
+}
+
+/// `xar top`: poll a live ops plane's `/metrics` and render a terminal
+/// dashboard every `--interval-ms`.
+fn top_cmd(flags: &Flags) -> Result<(), CmdError> {
+    let addr = flags.require("connect")?;
+    let addr = addr.strip_prefix("http://").unwrap_or(addr).trim_end_matches('/').to_string();
+    let interval_ms: u64 = flags.get("interval-ms", 1_000)?;
+    let frames: u64 = flags.get("frames", 0)?;
+    let plain = flags.switch("plain");
+    let mut shown = 0u64;
+    loop {
+        let body = http_get(&addr, "/metrics").map_err(CmdError::general)?;
+        let parsed = xar_obs::promtext::parse(&body)
+            .map_err(|e| CmdError::general(format!("{addr}/metrics does not parse: {e}")))?;
+        let frame = render_top_frame(&parsed);
+        if !plain {
+            // ANSI clear-screen + home, so the frame repaints in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("xar top — {addr}  (refresh {interval_ms} ms)\n");
+        print!("{frame}");
+        std::io::stdout().flush().ok();
+        shown += 1;
+        if frames != 0 && shown >= frames {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -387,22 +699,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match cmd.as_str() {
-        "build-region" => build_region(&flags),
-        "inspect" => inspect(&flags),
+    let result: Result<(), CmdError> = match cmd.as_str() {
+        "build-region" => build_region(&flags).map_err(CmdError::from),
+        "inspect" => inspect(&flags).map_err(CmdError::from),
         "simulate" => simulate(&flags),
         "trace" => trace_cmd(&flags),
+        "top" => top_cmd(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(CmdError::general(format!("unknown command '{other}'\n{}", usage()))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.msg);
+            ExitCode::from(e.code.max(1))
         }
     }
 }

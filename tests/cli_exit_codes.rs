@@ -1,0 +1,159 @@
+//! Pin the `xar` binary's exit-code contract (ISSUE 4 satellite): CI
+//! and operators branch on these, so a renumbering is a breaking
+//! change. 0 = ok, 1 = generic error, 2 = unreadable / invalid trace
+//! JSON, 3 = trace with no complete request timeline, 4 = trace
+//! missing the drop counter, 8 = `--slo-fail` with a fired SLO.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn xar(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xar")).args(args).output().expect("spawn xar")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn write(path: &Path, text: &str) {
+    std::fs::write(path, text).expect("write fixture");
+}
+
+/// A per-test scratch directory under the target dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+#[test]
+fn trace_check_exit_codes_are_distinct_per_failure_class() {
+    let dir = scratch("trace_codes");
+
+    // 2: file unreadable.
+    let out = xar(&["trace", "--check", "--in", dir.join("missing.json").to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // 2: not valid Chrome JSON.
+    let bad = dir.join("bad.json");
+    write(&bad, "this is not json");
+    let out = xar(&["trace", "--check", "--in", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // 3: valid JSON, drop counter present, but no request timeline.
+    let empty = dir.join("empty.json");
+    write(&empty, r#"{"traceEvents":[],"xar":{"dropped_events":0}}"#);
+    let out = xar(&["trace", "--check", "--in", empty.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{out:?}");
+
+    // 4: a complete request timeline but no "xar" drop-counter block.
+    let nodrop = dir.join("nodrop.json");
+    write(
+        &nodrop,
+        r#"{"traceEvents":[
+            {"name":"request","ph":"B","ts":0,"pid":1,"tid":1,"args":{"trace":1,"span":1}},
+            {"name":"request","ph":"E","ts":100,"pid":1,"tid":1}
+        ]}"#,
+    );
+    let out = xar(&["trace", "--check", "--in", nodrop.to_str().unwrap()]);
+    assert_eq!(code(&out), 4, "{out:?}");
+
+    // 1: generic CLI error (missing required flag).
+    let out = xar(&["trace", "--check"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn simulate_slo_fail_exits_8_and_trace_check_passes_on_real_output() {
+    let dir = scratch("slo_fail");
+    let region = dir.join("region.xarr");
+    let out = xar(&[
+        "build-region", "--rows", "14", "--cols", "14", "--seed", "5", "--clusters", "10",
+        "--out", region.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "build-region failed: {out:?}");
+
+    // An unmeetable SLO (1 ns search budget, tiny error allowance, tiny
+    // burn threshold) must fire and, under --slo-fail, exit 8.
+    let trace = dir.join("trace.json");
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--trips", "300",
+        "--trace-out", trace.to_str().unwrap(), "--trace-sample", "1.0",
+        "--tick-ms", "20", "--slo-fail",
+        "--slo", "name=impossible hist=sim.search_ns max_ns=1 target=0.999 fast=1 slow=1 burn=0.001",
+    ]);
+    assert_eq!(code(&out), 8, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("slo fired      : impossible"), "{stdout}");
+
+    // The same run's trace file passes --check (exit 0) — the healthy
+    // path for the codes pinned above.
+    let out = xar(&["trace", "--check", "--in", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+
+    // And the same simulation with a generous SLO exits 0.
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--trips", "300",
+        "--tick-ms", "20", "--slo-fail",
+        "--slo", "name=relaxed hist=sim.search_ns max_ms=60000 target=0.5 fast=1 slow=1",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn top_renders_one_plain_frame_from_a_served_simulation() {
+    let dir = scratch("top_frame");
+    let region = dir.join("region.xarr");
+    let out = xar(&[
+        "build-region", "--rows", "14", "--cols", "14", "--seed", "9", "--clusters", "10",
+        "--out", region.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "build-region failed: {out:?}");
+
+    // Serve on an ephemeral port, lingering long enough for `xar top`
+    // to scrape one frame; read the bound address off stdout.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xar"))
+        .args([
+            "simulate", "--region", region.to_str().unwrap(), "--trips", "300",
+            "--serve", "127.0.0.1:0", "--tick-ms", "50", "--linger-s", "20",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn simulate --serve");
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = loop {
+            match lines.next() {
+                Some(Ok(l)) if l.contains("http://") => break l,
+                Some(Ok(_)) => continue,
+                other => panic!("no ops-plane line before stdout closed: {other:?}"),
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        line.split("http://").nth(1).expect("address").trim().to_string()
+    };
+
+    // The first window tick lands ~tick-ms after startup; retry until
+    // the frame carries rolling data (bounded by the linger window).
+    let mut frame = String::new();
+    let mut ok = false;
+    for _ in 0..40 {
+        let out = xar(&["top", "--connect", &addr, "--frames", "1", "--plain"]);
+        assert_eq!(code(&out), 0, "{out:?}");
+        frame = String::from_utf8_lossy(&out.stdout).into_owned();
+        if frame.contains("rolling series") {
+            ok = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(ok, "no rolling data ever appeared:\n{frame}");
+    assert!(frame.contains("requests:"), "{frame}");
+    assert!(!frame.contains('\x1b'), "--plain must not emit ANSI escapes: {frame}");
+}

@@ -1,0 +1,163 @@
+//! End-to-end test of the live operational plane: run a real
+//! simulation with the embedded HTTP server attached, scrape
+//! `/metrics` over a raw `TcpStream`, and validate the exposition with
+//! the in-repo Prometheus-text parser (ISSUE 4 acceptance: labeled
+//! series and rolling percentiles round-trip through our own reader).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use xar_obs::serve::{serve, OpsPlane};
+use xar_obs::slo::{SloEngine, SloRule};
+use xar_obs::window::{WindowConfig, WindowStore};
+use xhare_a_ride::core::{EngineConfig, XarEngine};
+use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
+use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
+use xhare_a_ride::workload::{
+    generate_trips, run_simulation, RideBackend as _, SimConfig, TripGenConfig, XarBackend,
+};
+
+/// Minimal HTTP GET; returns (status_code, body).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to ops server");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+#[test]
+fn ops_plane_serves_labeled_metrics_rolling_windows_and_alerts() {
+    // A small but real city so every label family gets traffic.
+    let graph = Arc::new(CityConfig::manhattan(16, 16, 7).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: 128, ..Default::default() });
+    let region = Arc::new(RegionIndex::build(
+        Arc::clone(&graph),
+        &pois,
+        RegionConfig { cluster_goal: ClusterGoal::FixedCount(12), ..Default::default() },
+    ));
+    let mut backend = XarBackend::new(XarEngine::new(region, EngineConfig::default()));
+    let registry = backend.registry().expect("XAR backend keeps a registry");
+
+    // Huge tick so the server's background ticker stays idle and the
+    // test drives window time deterministically via plane.tick().
+    let plane = OpsPlane {
+        registry,
+        window: Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 16 })),
+        slo: Arc::new(SloEngine::new(vec![SloRule::parse(
+            "name=search-lat hist=engine.search_ns max_ms=500 target=0.9 fast=1 slow=1",
+        )
+        .unwrap()])),
+    };
+    let server = serve("127.0.0.1:0", plane.clone()).expect("bind ops server");
+    let addr = server.local_addr().to_string();
+
+    let trips = generate_trips(&graph, &TripGenConfig { count: 400, seed: 11, ..Default::default() });
+    let report = run_simulation(&mut backend, &trips, &SimConfig::default());
+    assert!(report.booked + report.created > 0, "simulation produced no rides");
+    plane.tick();
+
+    // /metrics parses with the in-repo reader and carries the labeled
+    // families plus rolling-window gauges.
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let parsed = xar_obs::promtext::parse(&body).expect("own exposition must parse");
+
+    let tiered: Vec<_> = parsed
+        .with_name("engine_search_ns")
+        .filter(|s| s.label("tier").is_some())
+        .collect();
+    assert!(!tiered.is_empty(), "no tier-labeled search series:\n{body}");
+    assert!(
+        parsed
+            .with_name("engine_book_ns_count")
+            .any(|s| s.label("cluster").is_some()),
+        "no cluster-labeled booking series:\n{body}"
+    );
+    assert!(
+        parsed.find("sim_requests", &[("outcome", "booked")]).is_some(),
+        "no outcome-labeled request counter:\n{body}"
+    );
+
+    // Rolling percentiles: the tick above folded the whole run into the
+    // newest window, so p99 over any window must be positive and the
+    // windows must carry the same sample mass (only one tick ever ran).
+    let p99_1s = parsed
+        .find("xar_rolling", &[("metric", "engine.search_ns"), ("window", "1s"), ("stat", "p99")])
+        .expect("rolling p99 sample");
+    assert!(p99_1s.value > 0.0, "rolling p99 empty");
+    let p50_1s = parsed
+        .find("xar_rolling", &[("metric", "engine.search_ns"), ("window", "1s"), ("stat", "p50")])
+        .unwrap();
+    assert!(p50_1s.value <= p99_1s.value, "p50 {} > p99 {}", p50_1s.value, p99_1s.value);
+    for w in ["10s", "60s"] {
+        let p99 = parsed
+            .find("xar_rolling", &[("metric", "engine.search_ns"), ("window", w), ("stat", "p99")])
+            .unwrap();
+        assert_eq!(p99.value, p99_1s.value, "window {w} disagrees after a single tick");
+    }
+    // Labeled series get their own rolling windows too.
+    let tier_metric = format!("engine.search_ns{{tier=\"{}\"}}",
+        tiered[0].label("tier").unwrap());
+    assert!(
+        parsed
+            .with_name("xar_rolling")
+            .any(|s| s.label("metric") == Some(tier_metric.as_str())),
+        "no rolling window for labeled series {tier_metric}:\n{body}"
+    );
+
+    // /health is 200 while the (generous) SLO is quiet; /alerts is a
+    // JSON array naming the rule; /snapshot is the JSON dump.
+    let (status, health) = http_get(&addr, "/health");
+    assert_eq!(status, 200, "{health}");
+    let (status, alerts) = http_get(&addr, "/alerts");
+    assert_eq!(status, 200);
+    let alerts_doc = xar_obs::json::parse(&alerts).expect("alerts JSON parses");
+    let arr = alerts_doc.as_array().expect("alerts is an array");
+    assert_eq!(arr.len(), 1);
+    assert_eq!(arr[0].get("name").and_then(|v| v.as_str()), Some("search-lat"));
+    let (status, snap) = http_get(&addr, "/snapshot");
+    assert_eq!(status, 200);
+    assert!(xar_obs::json::parse(&snap).is_ok(), "snapshot JSON parses");
+
+    let (status, _) = http_get(&addr, "/nope");
+    assert_eq!(status, 404);
+
+    drop(server); // Drop shuts the listener down; must not hang.
+}
+
+#[test]
+fn health_turns_503_when_an_impossible_slo_fires() {
+    let registry = Arc::new(xar_obs::Registry::new());
+    let plane = OpsPlane {
+        registry: Arc::clone(&registry),
+        window: Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 8 })),
+        // 1 ns budget at five nines: any recorded sample breaches it.
+        slo: Arc::new(SloEngine::new(vec![SloRule::parse(
+            "name=impossible hist=lat max_ns=1 target=0.99999 fast=1 slow=1 burn=0.5",
+        )
+        .unwrap()])),
+    };
+    let server = serve("127.0.0.1:0", plane.clone()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    registry.histogram("lat").record(1_000_000);
+    plane.tick();
+
+    let (status, body) = http_get(&addr, "/health");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("impossible"), "{body}");
+    let (_, metrics) = http_get(&addr, "/metrics");
+    let parsed = xar_obs::promtext::parse(&metrics).unwrap();
+    assert_eq!(
+        parsed.find("xar_alert_firing", &[("name", "impossible")]).map(|s| s.value),
+        Some(1.0)
+    );
+}

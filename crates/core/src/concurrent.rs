@@ -2,20 +2,19 @@
 //!
 //! XAR's defining workload is many cheap searches per expensive write
 //! (§I: "multi-modal trip planners have a high look-to-book ratio").
-//! [`SharedXarEngine`] maps that profile onto a `std::sync::RwLock`:
-//! searches take the shared read lock and run fully concurrently, while
-//! create / book / track serialize on the write lock. Under a 480:1
-//! look-to-book ratio (the Go-LA estimate, §X.B.2) contention on the
-//! write path is negligible.
+//! [`SharedXarEngine`] is the single-lock interface from PR-1, kept as
+//! a **thin facade over a one-shard [`ShardedXarEngine`]**: searches
+//! run fully concurrently on the shared read lock, create / book /
+//! track serialize on the write lock, and every caller compiled against
+//! the PR-1 API keeps working unchanged. Deployments that want
+//! multi-core write scaling construct [`ShardedXarEngine`] directly
+//! with more shards; the semantics of each operation are identical.
 //!
 //! Every operation records its lock **hold time** into the engine's
-//! metric registry (`lock.read_hold_ns` / `lock.write_hold_ns`), so the
-//! operational question "are writes starving the readers?" is
-//! answerable from a registry snapshot instead of a profiler.
-
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-
-use xar_obs::{Histogram, SpanTimer};
+//! metric registry (`lock.read_hold_ns` / `lock.write_hold_ns`, plus
+//! the per-shard labeled series), so the operational question "are
+//! writes starving the readers?" is answerable from a registry snapshot
+//! instead of a profiler.
 
 use crate::booking::BookingOutcome;
 use crate::engine::XarEngine;
@@ -23,75 +22,57 @@ use crate::error::XarError;
 use crate::request::RideRequest;
 use crate::ride::{RideId, RideOffer, RideStatus};
 use crate::search::RideMatch;
+use crate::sharded::ShardedXarEngine;
 
 /// A clonable, thread-safe handle to an [`XarEngine`].
 #[derive(Clone)]
 pub struct SharedXarEngine {
-    inner: Arc<RwLock<XarEngine>>,
-    read_hold_ns: Arc<Histogram>,
-    write_hold_ns: Arc<Histogram>,
+    inner: ShardedXarEngine,
 }
 
 impl SharedXarEngine {
-    /// Wrap an engine.
+    /// Wrap an engine (rides, ids and metrics preserved).
     pub fn new(engine: XarEngine) -> Self {
-        let registry = engine.metrics().registry();
-        let read_hold_ns = registry.histogram("lock.read_hold_ns");
-        let write_hold_ns = registry.histogram("lock.write_hold_ns");
-        Self { inner: Arc::new(RwLock::new(engine)), read_hold_ns, write_hold_ns }
+        Self { inner: ShardedXarEngine::from_engine(engine, 1) }
     }
 
-    fn read(&self) -> (RwLockReadGuard<'_, XarEngine>, SpanTimer) {
-        let guard = {
-            let _acq = xar_obs::trace::span("lock.read_acquire");
-            self.inner.read().unwrap_or_else(|e| e.into_inner())
-        };
-        (guard, SpanTimer::new(Arc::clone(&self.read_hold_ns)))
-    }
-
-    fn write(&self) -> (RwLockWriteGuard<'_, XarEngine>, SpanTimer) {
-        let guard = {
-            let _acq = xar_obs::trace::span("lock.write_acquire");
-            self.inner.write().unwrap_or_else(|e| e.into_inner())
-        };
-        (guard, SpanTimer::new(Arc::clone(&self.write_hold_ns)))
+    /// The sharded engine backing this facade.
+    pub fn sharded(&self) -> &ShardedXarEngine {
+        &self.inner
     }
 
     /// Concurrent search (shared read lock).
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
-        let (guard, _hold) = self.read();
-        guard.search(req, limit)
+        self.inner.search(req, limit)
     }
 
     /// Exclusive ride creation.
     pub fn create_ride(&self, offer: &RideOffer) -> Result<RideId, XarError> {
-        let (mut guard, _hold) = self.write();
-        guard.create_ride(offer)
+        self.inner.create_ride(offer)
     }
 
     /// Exclusive booking.
     pub fn book(&self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
-        let (mut guard, _hold) = self.write();
-        guard.book(m)
+        self.inner.book(m)
     }
 
     /// Exclusive tracking advance for one ride.
     pub fn track_ride(&self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
-        let (mut guard, _hold) = self.write();
-        guard.track_ride(id, now_s)
+        self.inner.track_ride(id, now_s)
     }
 
-    /// Exclusive tracking sweep over all rides.
+    /// Exclusive tracking sweep over all rides. When no rides are live
+    /// the sweep exits after a read-locked probe without ever taking
+    /// the write lock, so an idle deployment's periodic tracker never
+    /// stalls its searches.
     pub fn track_all(&self, now_s: f64) -> usize {
-        let (mut guard, _hold) = self.write();
-        guard.track_all(now_s)
+        self.inner.track_all(now_s)
     }
 
     /// Run a read-only closure against the engine (shared lock) — for
     /// stats, memory accounting, and inspection.
     pub fn with_read<R>(&self, f: impl FnOnce(&XarEngine) -> R) -> R {
-        let (guard, _hold) = self.read();
-        f(&guard)
+        self.inner.with_shard_read(0, f)
     }
 }
 
@@ -159,9 +140,9 @@ mod tests {
         });
         // Engine is intact: counters coherent, rides present.
         eng.with_read(|e| {
-            let (searches, creates, _, _, _) = e.stats().snapshot();
-            assert!(searches >= 1_600);
-            assert!(creates >= 20);
+            let s = e.stats().snapshot();
+            assert!(s.searches >= 1_600);
+            assert!(s.creates >= 20);
             assert!(e.ride_count() > 0);
         });
         // Lock hold times were recorded for both sides.
@@ -185,5 +166,18 @@ mod tests {
             2_000.0,
         ));
         other.with_read(|e| assert_eq!(e.ride_count(), 1));
+    }
+
+    #[test]
+    fn idle_track_all_takes_no_write_lock() {
+        let (eng, _graph) = shared();
+        let reg = eng.with_read(|e| e.metrics().registry());
+        let before = reg.histogram("lock.write_hold_ns").count();
+        assert_eq!(eng.track_all(9.0 * 3600.0), 0);
+        assert_eq!(
+            reg.histogram("lock.write_hold_ns").count(),
+            before,
+            "empty sweep must early-exit on the read probe"
+        );
     }
 }

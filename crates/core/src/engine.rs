@@ -61,6 +61,23 @@ pub struct EngineStats {
     pub shortest_paths: Arc<Counter>,
 }
 
+/// A point-in-time reading of [`EngineStats`], with named fields so
+/// callers never depend on positional tuple order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStatsSnapshot {
+    /// Search operations served.
+    pub searches: u64,
+    /// Rides created.
+    pub creates: u64,
+    /// Bookings confirmed.
+    pub bookings: u64,
+    /// Tracking advances applied.
+    pub tracks: u64,
+    /// Shortest-path computations performed (creation + booking —
+    /// never search).
+    pub shortest_paths: u64,
+}
+
 impl EngineStats {
     /// Resolve the counter handles from `registry` (get-or-create, so
     /// engines sharing a registry share the counts).
@@ -74,15 +91,15 @@ impl EngineStats {
         }
     }
 
-    /// Snapshot as `(searches, creates, bookings, tracks, shortest_paths)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.searches.get(),
-            self.creates.get(),
-            self.bookings.get(),
-            self.tracks.get(),
-            self.shortest_paths.get(),
-        )
+    /// Read every counter at once.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            searches: self.searches.get(),
+            creates: self.creates.get(),
+            bookings: self.bookings.get(),
+            tracks: self.tracks.get(),
+            shortest_paths: self.shortest_paths.get(),
+        }
     }
 }
 
@@ -137,6 +154,7 @@ pub struct XarEngine {
     rides: HashMap<RideId, Ride>,
     index: ClusterIndex,
     next_id: u64,
+    id_stride: u64,
     pub(crate) stats: EngineStats,
     pub(crate) metrics: EngineMetrics,
 }
@@ -158,9 +176,32 @@ impl XarEngine {
             rides: HashMap::new(),
             index,
             next_id: 1,
+            id_stride: 1,
             stats,
             metrics,
         }
+    }
+
+    /// Restrict this engine to the id arithmetic progression
+    /// `start, start + stride, start + 2·stride, …` — the sharding
+    /// layer gives shard `i` of `n` the sequence `(i+1, n)` so ride ids
+    /// stay globally unique and `(id − 1) mod n` recovers the owning
+    /// shard without any lookup.
+    pub(crate) fn set_id_sequence(&mut self, start: u64, stride: u64) {
+        debug_assert!(stride >= 1 && start >= 1);
+        debug_assert!(self.rides.is_empty(), "id sequence must be set before any ride exists");
+        self.next_id = start;
+        self.id_stride = stride;
+    }
+
+    /// Route this engine's index mutations into `occupancy` as shard
+    /// `shard` (see [`crate::sharded::ShardOccupancy`]).
+    pub(crate) fn attach_shard_occupancy(
+        &mut self,
+        occupancy: std::sync::Arc<crate::sharded::ShardOccupancy>,
+        shard: u32,
+    ) {
+        self.index.attach_occupancy(occupancy, shard);
     }
 
     /// The region discretization the engine runs on.
@@ -278,7 +319,7 @@ impl XarEngine {
         via_points.last_mut().expect("two or more stops").route_idx = final_idx;
 
         let id = RideId(self.next_id);
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         let mut ride = Ride {
             id,
             source: offer.source,
@@ -474,9 +515,16 @@ impl XarEngine {
     /// Figure 3c reports (the paper measured it with the Classmexer JVM
     /// agent; we account our own structures exactly).
     pub fn heap_bytes(&self) -> usize {
+        self.region.heap_bytes() + self.heap_bytes_runtime()
+    }
+
+    /// Heap bytes of the mutable runtime state only (cluster index +
+    /// ride records), excluding the shared immutable region tables —
+    /// what a shard contributes on top of the `Arc`'d discretization.
+    pub fn heap_bytes_runtime(&self) -> usize {
         let rides: usize = self.rides.values().map(|r| r.heap_bytes()).sum();
         let ride_map = (self.rides.capacity() as f64 * 1.1) as usize
             * (std::mem::size_of::<(RideId, Ride)>() + 8);
-        self.region.heap_bytes() + self.index.heap_bytes() + rides + ride_map
+        self.index.heap_bytes() + rides + ride_map
     }
 }

@@ -73,12 +73,35 @@ struct ClusterList {
 pub struct ClusterIndex {
     lists: Vec<ClusterList>,
     entries: usize,
+    /// When this index is one shard of a
+    /// [`crate::sharded::ShardedXarEngine`]: the shared occupancy map
+    /// and this shard's bit, kept in sync on every empty↔non-empty
+    /// transition of a cluster list so searches can skip shards that
+    /// hold nothing for their cluster fan-out.
+    occupancy: Option<(std::sync::Arc<crate::sharded::ShardOccupancy>, u32)>,
 }
 
 impl ClusterIndex {
     /// Create an index over `cluster_count` clusters.
     pub fn new(cluster_count: usize) -> Self {
-        Self { lists: vec![ClusterList::default(); cluster_count], entries: 0 }
+        Self { lists: vec![ClusterList::default(); cluster_count], entries: 0, occupancy: None }
+    }
+
+    /// Publish this index's per-cluster emptiness into `occupancy` as
+    /// shard `shard`. Existing non-empty lists are back-filled into the
+    /// map (the single-shard facade wraps already-populated engines),
+    /// then `insert`/`remove` keep it in sync incrementally.
+    pub(crate) fn attach_occupancy(
+        &mut self,
+        occupancy: std::sync::Arc<crate::sharded::ShardOccupancy>,
+        shard: u32,
+    ) {
+        for (c, list) in self.lists.iter().enumerate() {
+            if !list.by_ride.is_empty() {
+                occupancy.set(c, shard);
+            }
+        }
+        self.occupancy = Some((occupancy, shard));
     }
 
     /// Number of clusters.
@@ -104,6 +127,7 @@ impl ClusterIndex {
     /// estimated detour wins (ties: earlier ETA).
     pub fn insert(&mut self, cluster: ClusterId, entry: PotentialRide) {
         let list = &mut self.lists[cluster.index()];
+        let was_empty = list.by_ride.is_empty();
         if let Some(&old_eta) = list.by_ride.get(&entry.ride) {
             let old = list.by_eta[&(old_eta, entry.ride)];
             let better = entry.detour_m < old.detour_m
@@ -117,6 +141,11 @@ impl ClusterIndex {
         list.by_ride.insert(entry.ride, OrdF64(entry.eta_s));
         list.by_eta.insert((OrdF64(entry.eta_s), entry.ride), entry);
         self.entries += 1;
+        if was_empty {
+            if let Some((occ, shard)) = &self.occupancy {
+                occ.set(cluster.index(), *shard);
+            }
+        }
     }
 
     /// Remove `ride` from `cluster`'s list. Returns the removed entry.
@@ -126,6 +155,11 @@ impl ClusterIndex {
         let removed = list.by_eta.remove(&(eta, ride));
         debug_assert!(removed.is_some(), "dual lists out of sync");
         self.entries -= 1;
+        if list.by_ride.is_empty() {
+            if let Some((occ, shard)) = &self.occupancy {
+                occ.clear(cluster.index(), *shard);
+            }
+        }
         removed
     }
 

@@ -63,16 +63,18 @@ pub mod metrics;
 pub mod request;
 pub mod ride;
 pub mod search;
+pub mod sharded;
 pub mod social;
 pub mod tracking;
 
 pub use booking::BookingOutcome;
 pub use concurrent::SharedXarEngine;
-pub use engine::{EngineConfig, EngineStats, XarEngine};
+pub use engine::{EngineConfig, EngineStats, EngineStatsSnapshot, XarEngine};
 pub use error::XarError;
 pub use index::ClusterIndex;
 pub use metrics::EngineMetrics;
 pub use request::RideRequest;
 pub use ride::{Ride, RideId, RideOffer, RideStatus, RiderId};
 pub use search::RideMatch;
+pub use sharded::{ShardOccupancy, ShardedXarEngine, DEFAULT_SHARDS, MAX_SHARDS};
 pub use social::SocialGraph;

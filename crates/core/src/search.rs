@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use xar_discretize::{ClusterId, LandmarkId};
+use xar_discretize::{ClusterId, LandmarkId, WalkEntry};
 
 use crate::engine::XarEngine;
 use crate::error::XarError;
@@ -106,134 +106,159 @@ impl XarEngine {
         let tier_hist =
             &self.metrics.search_ns_tier[crate::metrics::EngineMetrics::tier_index(src_walkable.len())];
 
-        // Step 1: R1 from the source side, ETA within the departure
-        // window. A ride may be reachable through several walkable
-        // clusters; all hits are kept (the walkable lists are short, so
-        // this stays linear in practice) — greedy per-side pruning can
-        // discard the only *jointly* feasible combination.
-        let mut r1: HashMap<RideId, Vec<SideHit>> = HashMap::new();
-        {
-            let mut espan = xar_obs::trace::span("enumerate_src");
-            for w in src_walkable {
-                for entry in
-                    self.index().range_eta(w.cluster, req.window_start_s, req.window_end_s)
-                {
-                    r1.entry(entry.ride).or_default().push(SideHit {
-                        cluster: w.cluster,
-                        landmark: w.landmark,
-                        walk_m: f64::from(w.walk_m),
-                        entry: *entry,
-                    });
-                }
-            }
-            espan.attr("clusters", src_walkable.len());
-            espan.attr("candidates", r1.len());
-        }
-        self.metrics.search_candidates.record(r1.len() as u64);
-        tspan.attr("candidates", r1.len());
-        if r1.is_empty() {
-            tier_hist.record(t0.elapsed().as_nanos() as u64);
-            return Ok(vec![]);
-        }
-
-        // Step 2: R2 from the destination side. Drop-off can happen any
-        // time after the window opens; the pick-up-before-drop-off
-        // ordering is enforced per pair below.
-        let mut r2: HashMap<RideId, Vec<SideHit>> = HashMap::new();
-        {
-            let mut espan = xar_obs::trace::span("enumerate_dst");
-            for w in dst_walkable {
-                for entry in self.index().range_eta(w.cluster, req.window_start_s, f64::INFINITY) {
-                    // Cheap pre-filter: only rides already in R1 matter.
-                    if !r1.contains_key(&entry.ride) {
-                        continue;
-                    }
-                    r2.entry(entry.ride).or_default().push(SideHit {
-                        cluster: w.cluster,
-                        landmark: w.landmark,
-                        walk_m: f64::from(w.walk_m),
-                        entry: *entry,
-                    });
-                }
-            }
-            espan.attr("clusters", dst_walkable.len());
-            espan.attr("candidates", r2.len());
-        }
-
-        // Intersection + final feasibility checks: per ride, the best
-        // (least-walk) feasible (source, destination) combination wins.
         let mut out = Vec::new();
-        for (ride_id, srcs) in &r1 {
-            let Some(dsts) = r2.get(ride_id) else { continue };
-            let Some(ride) = self.ride(*ride_id) else { continue };
-            if ride.seats_available == 0 {
-                continue;
-            }
-            let budget = ride.detour_remaining_m();
-            let mut best: Option<RideMatch> = None;
-            for src in srcs {
-                for dst in dsts {
-                    // Pick-up must strictly precede drop-off along the
-                    // ride: different clusters, increasing ETA and
-                    // segment, and non-decreasing position of the
-                    // serving pass-through point along the route
-                    // (estimated times alone can mis-order detours
-                    // hanging off nearby pass points, which would force
-                    // the ride to backtrack at booking time).
-                    if src.cluster == dst.cluster
-                        || dst.entry.eta_s <= src.entry.eta_s
-                        || dst.entry.seg < src.entry.seg
-                        || dst.entry.pass_route_idx < src.entry.pass_route_idx
-                    {
-                        continue;
-                    }
-                    // (a) combined walking within the rider's limit.
-                    let walk_total = src.walk_m + dst.walk_m;
-                    if walk_total > req.walk_limit_m {
-                        continue;
-                    }
-                    // (b) combined detour within the ride's budget.
-                    let detour_total = src.entry.detour_m + dst.entry.detour_m;
-                    if detour_total > budget {
-                        continue;
-                    }
-                    let better = best.as_ref().is_none_or(|b| {
-                        walk_total < b.walk_total_m()
-                            || (walk_total == b.walk_total_m() && detour_total < b.detour_est_m)
-                    });
-                    if better {
-                        best = Some(RideMatch {
-                            ride: *ride_id,
-                            pickup_cluster: src.cluster,
-                            pickup_landmark: src.landmark,
-                            dropoff_cluster: dst.cluster,
-                            dropoff_landmark: dst.landmark,
-                            walk_pickup_m: src.walk_m,
-                            walk_dropoff_m: dst.walk_m,
-                            eta_pickup_s: src.entry.eta_s,
-                            eta_dropoff_s: dst.entry.eta_s,
-                            detour_est_m: detour_total,
-                            pickup_seg: src.entry.seg,
-                            dropoff_seg: dst.entry.seg,
-                        });
-                    }
-                }
-            }
-            if let Some(m) = best {
-                out.push(m);
-            }
-        }
-        // "the ride that incurs least walking for the requester is
-        // matched" (§X.A.2): least walking first, deterministic ties.
-        out.sort_by(|a, b| {
-            a.walk_total_m()
-                .total_cmp(&b.walk_total_m())
-                .then(a.detour_est_m.total_cmp(&b.detour_est_m))
-                .then(a.ride.cmp(&b.ride))
-        });
+        let candidates = collect_matches(self, src_walkable, dst_walkable, req, &mut out);
+        self.metrics.search_candidates.record(candidates as u64);
+        tspan.attr("candidates", candidates);
+
+        sort_matches(&mut out);
         out.truncate(limit);
         tspan.attr("matches", out.len());
         tier_hist.record(t0.elapsed().as_nanos() as u64);
         Ok(out)
     }
+}
+
+/// "the ride that incurs least walking for the requester is matched"
+/// (§X.A.2): least walking first, deterministic ties.
+pub(crate) fn sort_matches(out: &mut [RideMatch]) {
+    out.sort_by(|a, b| {
+        a.walk_total_m()
+            .total_cmp(&b.walk_total_m())
+            .then(a.detour_est_m.total_cmp(&b.detour_est_m))
+            .then(a.ride.cmp(&b.ride))
+    });
+}
+
+/// The candidate-generation and feasibility core of search, over one
+/// engine's index and ride table: Steps 1 and 2 (per-cluster ETA range
+/// queries on both sides), the `R1 ∩ R2` intersection, and the final
+/// walking / detour / ordering checks. Feasible matches are appended to
+/// `out`; the return value is `|R1|` (the candidate-set size).
+///
+/// Factored out of [`XarEngine::search`] so the sharded engine
+/// ([`crate::sharded::ShardedXarEngine`]) can run the identical logic
+/// against each shard's private slice of the ride state: a ride's index
+/// entries live wholly within its owning shard, so per-shard collection
+/// followed by a global sort is equivalent to the single-engine search.
+pub(crate) fn collect_matches(
+    engine: &XarEngine,
+    src_walkable: &[WalkEntry],
+    dst_walkable: &[WalkEntry],
+    req: &RideRequest,
+    out: &mut Vec<RideMatch>,
+) -> usize {
+    // Step 1: R1 from the source side, ETA within the departure
+    // window. A ride may be reachable through several walkable
+    // clusters; all hits are kept (the walkable lists are short, so
+    // this stays linear in practice) — greedy per-side pruning can
+    // discard the only *jointly* feasible combination.
+    let mut r1: HashMap<RideId, Vec<SideHit>> = HashMap::new();
+    {
+        let mut espan = xar_obs::trace::span("enumerate_src");
+        for w in src_walkable {
+            for entry in engine.index().range_eta(w.cluster, req.window_start_s, req.window_end_s)
+            {
+                r1.entry(entry.ride).or_default().push(SideHit {
+                    cluster: w.cluster,
+                    landmark: w.landmark,
+                    walk_m: f64::from(w.walk_m),
+                    entry: *entry,
+                });
+            }
+        }
+        espan.attr("clusters", src_walkable.len());
+        espan.attr("candidates", r1.len());
+    }
+    if r1.is_empty() {
+        return 0;
+    }
+
+    // Step 2: R2 from the destination side. Drop-off can happen any
+    // time after the window opens; the pick-up-before-drop-off
+    // ordering is enforced per pair below.
+    let mut r2: HashMap<RideId, Vec<SideHit>> = HashMap::new();
+    {
+        let mut espan = xar_obs::trace::span("enumerate_dst");
+        for w in dst_walkable {
+            for entry in engine.index().range_eta(w.cluster, req.window_start_s, f64::INFINITY) {
+                // Cheap pre-filter: only rides already in R1 matter.
+                if !r1.contains_key(&entry.ride) {
+                    continue;
+                }
+                r2.entry(entry.ride).or_default().push(SideHit {
+                    cluster: w.cluster,
+                    landmark: w.landmark,
+                    walk_m: f64::from(w.walk_m),
+                    entry: *entry,
+                });
+            }
+        }
+        espan.attr("clusters", dst_walkable.len());
+        espan.attr("candidates", r2.len());
+    }
+
+    // Intersection + final feasibility checks: per ride, the best
+    // (least-walk) feasible (source, destination) combination wins.
+    for (ride_id, srcs) in &r1 {
+        let Some(dsts) = r2.get(ride_id) else { continue };
+        let Some(ride) = engine.ride(*ride_id) else { continue };
+        if ride.seats_available == 0 {
+            continue;
+        }
+        let budget = ride.detour_remaining_m();
+        let mut best: Option<RideMatch> = None;
+        for src in srcs {
+            for dst in dsts {
+                // Pick-up must strictly precede drop-off along the
+                // ride: different clusters, increasing ETA and
+                // segment, and non-decreasing position of the
+                // serving pass-through point along the route
+                // (estimated times alone can mis-order detours
+                // hanging off nearby pass points, which would force
+                // the ride to backtrack at booking time).
+                if src.cluster == dst.cluster
+                    || dst.entry.eta_s <= src.entry.eta_s
+                    || dst.entry.seg < src.entry.seg
+                    || dst.entry.pass_route_idx < src.entry.pass_route_idx
+                {
+                    continue;
+                }
+                // (a) combined walking within the rider's limit.
+                let walk_total = src.walk_m + dst.walk_m;
+                if walk_total > req.walk_limit_m {
+                    continue;
+                }
+                // (b) combined detour within the ride's budget.
+                let detour_total = src.entry.detour_m + dst.entry.detour_m;
+                if detour_total > budget {
+                    continue;
+                }
+                let better = best.as_ref().is_none_or(|b| {
+                    walk_total < b.walk_total_m()
+                        || (walk_total == b.walk_total_m() && detour_total < b.detour_est_m)
+                });
+                if better {
+                    best = Some(RideMatch {
+                        ride: *ride_id,
+                        pickup_cluster: src.cluster,
+                        pickup_landmark: src.landmark,
+                        dropoff_cluster: dst.cluster,
+                        dropoff_landmark: dst.landmark,
+                        walk_pickup_m: src.walk_m,
+                        walk_dropoff_m: dst.walk_m,
+                        eta_pickup_s: src.entry.eta_s,
+                        eta_dropoff_s: dst.entry.eta_s,
+                        detour_est_m: detour_total,
+                        pickup_seg: src.entry.seg,
+                        dropoff_seg: dst.entry.seg,
+                    });
+                }
+            }
+        }
+        if let Some(m) = best {
+            out.push(m);
+        }
+    }
+    r1.len()
 }

@@ -1,0 +1,650 @@
+//! Cluster-sharded concurrent engine.
+//!
+//! XAR's workload is ~480 searches per booking (§X.B.2), yet the PR-1
+//! [`crate::concurrent::SharedXarEngine`] funnelled every operation
+//! through one global `RwLock<XarEngine>`: a single writer stalled all
+//! readers, and writes serialized with each other even when they
+//! touched rides on opposite sides of the city. [`ShardedXarEngine`]
+//! removes the global lock:
+//!
+//! * The ride state is split into `N` **shards**. A ride lives wholly
+//!   in one shard — its record *and* every one of its potential-rides
+//!   index entries — chosen by hashing the cluster of its pick-up
+//!   point. Each shard is a complete [`XarEngine`] behind its own
+//!   `RwLock`, so `create_ride` / `book` / `track_ride` lock exactly
+//!   one shard and concurrent writes to different shards never contend.
+//! * Immutable state (the road graph, the region discretization, the
+//!   landmark and cluster-distance tables) is shared behind a plain
+//!   `Arc` with no lock at all — searches resolve their walkable
+//!   clusters before touching any shard.
+//! * **Search** derives its candidate cluster fan-out up front (the
+//!   tier-1/2/3 region tables need no lock), consults the lock-free
+//!   [`ShardOccupancy`] bitmask to find which shards actually hold
+//!   entries for those clusters, and read-locks only those shards — in
+//!   canonical (ascending) order, one at a time, so there is no lock
+//!   nesting and no deadlock by construction. Because a ride's entries
+//!   never span shards, per-shard candidate collection followed by one
+//!   global sort is *equivalent* to the single-engine search: every
+//!   candidate cluster is still examined, so the paper's approximation
+//!   guarantee is untouched (DESIGN.md §5e).
+//! * **`track_all`** becomes a per-shard sweep: each shard is locked
+//!   (write) on its own, and empty shards are skipped after a cheap
+//!   read-locked `ride_count` probe — the sweep never stops the world.
+//!
+//! Every lock acquisition records its **hold time** both into the
+//! aggregate `lock.read_hold_ns` / `lock.write_hold_ns` histograms
+//! (PR-1 names, preserved) and into a per-shard labeled series
+//! `lock.read_hold_ns{shard="sK"}` / `lock.write_hold_ns{shard="sK"}`
+//! (PR-3 label machinery), so shard imbalance is visible in `/metrics`
+//! and `xar top` without a profiler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use xar_discretize::{ClusterId, RegionIndex};
+use xar_obs::{Histogram, Registry};
+
+use crate::booking::BookingOutcome;
+use crate::engine::{EngineConfig, EngineStats, XarEngine};
+use crate::error::XarError;
+use crate::metrics::EngineMetrics;
+use crate::request::RideRequest;
+use crate::ride::{Ride, RideId, RideOffer, RideStatus};
+use crate::search::{collect_matches, sort_matches, RideMatch};
+
+/// Hard cap on the shard count: the occupancy bitmask is one `u64` per
+/// cluster, and the per-shard label cardinality must stay far below the
+/// registry's 64-series-per-family overflow cap.
+pub const MAX_SHARDS: usize = 32;
+
+/// Default shard count for deployments that do not tune it.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Lock-free map from cluster to the set of shards holding at least one
+/// potential-rides entry for it: one atomic `u64` bitmask per cluster.
+///
+/// Bit `s` of `masks[c]` is set iff shard `s`'s [`ClusterIndex`]
+/// (see `crate::index`) currently has a non-empty list for cluster `c`.
+/// Each bit is only ever flipped by its own shard's writer *while
+/// holding that shard's write lock*, so transitions are exact; readers
+/// use relaxed loads — a search that races a create may miss the brand
+/// new ride or probe a just-emptied shard, which is indistinguishable
+/// from the operations serializing in the other order.
+#[derive(Debug)]
+pub struct ShardOccupancy {
+    masks: Vec<AtomicU64>,
+}
+
+impl ShardOccupancy {
+    /// An empty occupancy map over `cluster_count` clusters.
+    pub fn new(cluster_count: usize) -> Self {
+        Self { masks: (0..cluster_count).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Mark shard `shard` as holding entries for `cluster`.
+    pub(crate) fn set(&self, cluster: usize, shard: u32) {
+        self.masks[cluster].fetch_or(1 << shard, Ordering::Relaxed);
+    }
+
+    /// Mark shard `shard` as holding no entries for `cluster`.
+    pub(crate) fn clear(&self, cluster: usize, shard: u32) {
+        self.masks[cluster].fetch_and(!(1 << shard), Ordering::Relaxed);
+    }
+
+    /// The shard bitmask of one cluster.
+    pub fn cluster_mask(&self, cluster: usize) -> u64 {
+        self.masks[cluster].load(Ordering::Relaxed)
+    }
+
+    /// Union of the shard bitmasks of `clusters` — the shards a search
+    /// with this cluster fan-out could find candidates in.
+    pub fn mask_for(&self, clusters: impl IntoIterator<Item = usize>) -> u64 {
+        clusters.into_iter().fold(0u64, |m, c| m | self.cluster_mask(c))
+    }
+}
+
+/// One shard: a complete engine over its slice of the rides, plus the
+/// pre-resolved labeled lock-hold histograms.
+struct Shard {
+    lock: RwLock<XarEngine>,
+    read_hold_ns: Arc<Histogram>,
+    write_hold_ns: Arc<Histogram>,
+}
+
+/// Records a lock hold time into both the aggregate and the per-shard
+/// labeled histogram when dropped.
+struct HoldTimer {
+    t0: Instant,
+    aggregate: Arc<Histogram>,
+    labeled: Arc<Histogram>,
+}
+
+impl HoldTimer {
+    fn new(aggregate: Arc<Histogram>, labeled: Arc<Histogram>) -> Self {
+        Self { t0: Instant::now(), aggregate, labeled }
+    }
+}
+
+impl Drop for HoldTimer {
+    fn drop(&mut self) {
+        let ns = self.t0.elapsed().as_nanos() as u64;
+        self.aggregate.record(ns);
+        self.labeled.record(ns);
+    }
+}
+
+struct Inner {
+    region: Arc<RegionIndex>,
+    shards: Vec<Shard>,
+    occupancy: Arc<ShardOccupancy>,
+    stats: EngineStats,
+    metrics: EngineMetrics,
+    read_hold_ns: Arc<Histogram>,
+    write_hold_ns: Arc<Histogram>,
+}
+
+/// A clonable, thread-safe, cluster-sharded XAR engine (module docs
+/// for the locking design).
+///
+/// ```
+/// use std::sync::Arc;
+/// use xar_core::{EngineConfig, RideOffer, RideRequest, ShardedXarEngine};
+/// use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+/// use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig};
+///
+/// let graph = Arc::new(CityConfig::test_city(7).generate());
+/// let pois = sample_pois(&graph, &PoiConfig { count: 300, ..Default::default() });
+/// let region = Arc::new(RegionIndex::build(
+///     Arc::clone(&graph),
+///     &pois,
+///     RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+/// ));
+/// let engine = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+/// let n = graph.node_count() as u32;
+/// let ride = engine
+///     .create_ride(&RideOffer::simple(
+///         graph.point(NodeId(0)),
+///         graph.point(NodeId(n - 1)),
+///         8.0 * 3600.0,
+///         3,
+///         2_500.0,
+///     ))
+///     .unwrap();
+/// let matches = engine
+///     .search(
+///         &RideRequest {
+///             source: graph.point(NodeId(n / 2)),
+///             destination: graph.point(NodeId(n - 1)),
+///             window_start_s: 7.5 * 3600.0,
+///             window_end_s: 9.0 * 3600.0,
+///             walk_limit_m: 800.0,
+///         },
+///         5,
+///     )
+///     .unwrap();
+/// assert!(matches.iter().any(|m| m.ride == ride));
+/// ```
+#[derive(Clone)]
+pub struct ShardedXarEngine {
+    inner: Arc<Inner>,
+}
+
+impl ShardedXarEngine {
+    /// A sharded engine over a pre-processed region with fresh metrics.
+    pub fn new(region: Arc<RegionIndex>, config: EngineConfig, shards: usize) -> Self {
+        Self::with_metrics(region, config, EngineMetrics::new(), shards)
+    }
+
+    /// A sharded engine recording into caller-supplied metrics. The
+    /// shard count is clamped to `1..=`[`MAX_SHARDS`].
+    pub fn with_metrics(
+        region: Arc<RegionIndex>,
+        config: EngineConfig,
+        metrics: EngineMetrics,
+        shards: usize,
+    ) -> Self {
+        let n = shards.clamp(1, MAX_SHARDS);
+        let registry = metrics.registry();
+        let occupancy = Arc::new(ShardOccupancy::new(region.cluster_count()));
+        let shards = (0..n)
+            .map(|i| {
+                let mut engine = XarEngine::with_metrics(
+                    Arc::clone(&region),
+                    config.clone(),
+                    EngineMetrics::with_registry(Arc::clone(&registry)),
+                );
+                engine.set_id_sequence(i as u64 + 1, n as u64);
+                engine.attach_shard_occupancy(Arc::clone(&occupancy), i as u32);
+                Self::make_shard(engine, i, &registry)
+            })
+            .collect();
+        Self::assemble(region, shards, occupancy, metrics)
+    }
+
+    /// Wrap an existing engine. With `shards == 1` the engine is taken
+    /// as-is — rides, ids and metrics preserved (this is how
+    /// [`crate::concurrent::SharedXarEngine`] stays a drop-in facade).
+    /// With more shards the engine must still be empty (its id space is
+    /// re-striped across the shards).
+    ///
+    /// # Panics
+    /// If `shards > 1` and the engine already holds rides.
+    pub fn from_engine(engine: XarEngine, shards: usize) -> Self {
+        let n = shards.clamp(1, MAX_SHARDS);
+        let region = Arc::clone(engine.region());
+        let config = engine.config().clone();
+        let metrics = engine.metrics().clone();
+        let registry = metrics.registry();
+        let occupancy = Arc::new(ShardOccupancy::new(region.cluster_count()));
+        if n == 1 {
+            let mut engine = engine;
+            engine.attach_shard_occupancy(Arc::clone(&occupancy), 0);
+            let shards = vec![Self::make_shard(engine, 0, &registry)];
+            return Self::assemble(region, shards, occupancy, metrics);
+        }
+        assert!(
+            engine.ride_count() == 0,
+            "cannot re-stripe a populated engine across {n} shards"
+        );
+        Self::with_metrics(region, config, metrics, n)
+    }
+
+    fn make_shard(engine: XarEngine, i: usize, registry: &Arc<Registry>) -> Shard {
+        let label = format!("s{i}");
+        Shard {
+            lock: RwLock::new(engine),
+            read_hold_ns: registry.histogram_with("lock.read_hold_ns", &[("shard", &label)]),
+            write_hold_ns: registry.histogram_with("lock.write_hold_ns", &[("shard", &label)]),
+        }
+    }
+
+    fn assemble(
+        region: Arc<RegionIndex>,
+        shards: Vec<Shard>,
+        occupancy: Arc<ShardOccupancy>,
+        metrics: EngineMetrics,
+    ) -> Self {
+        let registry = metrics.registry();
+        let stats = EngineStats::from_registry(&registry);
+        let read_hold_ns = registry.histogram("lock.read_hold_ns");
+        let write_hold_ns = registry.histogram("lock.write_hold_ns");
+        Self {
+            inner: Arc::new(Inner {
+                region,
+                shards,
+                occupancy,
+                stats,
+                metrics,
+                read_hold_ns,
+                write_hold_ns,
+            }),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The region discretization the engine runs on (lock-free).
+    #[inline]
+    pub fn region(&self) -> &Arc<RegionIndex> {
+        &self.inner.region
+    }
+
+    /// Shared operation counters (all shards record into these).
+    #[inline]
+    pub fn stats(&self) -> &EngineStats {
+        &self.inner.stats
+    }
+
+    /// Shared latency / candidate-set telemetry.
+    #[inline]
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.inner.metrics
+    }
+
+    /// The registry every shard and the sharding layer record into.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.inner.metrics.registry()
+    }
+
+    /// The occupancy bitmask (exposed for tests and diagnostics).
+    pub fn occupancy(&self) -> &Arc<ShardOccupancy> {
+        &self.inner.occupancy
+    }
+
+    /// The shard owning cluster `c`: a Fibonacci hash of the cluster id
+    /// so spatially adjacent clusters (consecutive ids) spread across
+    /// shards instead of piling hotspots onto one lock.
+    #[inline]
+    pub fn shard_of_cluster(&self, c: ClusterId) -> usize {
+        let h = (u64::from(c.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) % self.inner.shards.len()
+    }
+
+    /// The shard owning ride `id`. Shard `i` hands out ids from the
+    /// progression `i+1, i+1+n, …`, so the owner is recoverable from
+    /// the id alone — booking never probes shards.
+    #[inline]
+    pub fn shard_of_ride(&self, id: RideId) -> usize {
+        ((id.0.saturating_sub(1)) % self.inner.shards.len() as u64) as usize
+    }
+
+    fn read_shard(&self, i: usize) -> (RwLockReadGuard<'_, XarEngine>, HoldTimer) {
+        let shard = &self.inner.shards[i];
+        let guard = {
+            let _acq = xar_obs::trace::span("lock.read_acquire");
+            shard.lock.read().unwrap_or_else(|e| e.into_inner())
+        };
+        let hold = HoldTimer::new(
+            Arc::clone(&self.inner.read_hold_ns),
+            Arc::clone(&shard.read_hold_ns),
+        );
+        (guard, hold)
+    }
+
+    fn write_shard(&self, i: usize) -> (RwLockWriteGuard<'_, XarEngine>, HoldTimer) {
+        let shard = &self.inner.shards[i];
+        let guard = {
+            let _acq = xar_obs::trace::span("lock.write_acquire");
+            shard.lock.write().unwrap_or_else(|e| e.into_inner())
+        };
+        let hold = HoldTimer::new(
+            Arc::clone(&self.inner.write_hold_ns),
+            Arc::clone(&shard.write_hold_ns),
+        );
+        (guard, hold)
+    }
+
+    /// **Search** (operation O1) across shards: walkable-cluster
+    /// fan-out from the lock-free region tables, occupancy-pruned shard
+    /// visits (read locks, ascending order, one at a time), one global
+    /// sort. Returns up to `limit` matches, least combined walking
+    /// first — identical results to [`XarEngine::search`] over the
+    /// union of the shards (property-tested in `tests/sharded_hammer`).
+    pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
+        let inner = &*self.inner;
+        req.validate()?;
+        inner.stats.searches.inc();
+        let t0 = Instant::now();
+        let _span = xar_obs::SpanTimer::new(Arc::clone(&inner.metrics.search_ns));
+        let mut tspan = xar_obs::trace::span("search");
+        let region = &inner.region;
+        let src_node = region.snap(&req.source);
+        let dst_node = region.snap(&req.destination);
+        let src_walkable = region.walkable_within(src_node, req.walk_limit_m);
+        let dst_walkable = region.walkable_within(dst_node, req.walk_limit_m);
+        if src_walkable.is_empty() || dst_walkable.is_empty() {
+            return Err(XarError::NotServable);
+        }
+        let tier_hist = &inner.metrics.search_ns_tier[EngineMetrics::tier_index(src_walkable.len())];
+
+        // A shard can only contribute a match if it holds entries for at
+        // least one source-side AND one destination-side cluster (the
+        // candidate set is R1 ∩ R2, and a ride's entries never leave its
+        // shard) — everything else is skipped without touching its lock.
+        let mask = inner.occupancy.mask_for(src_walkable.iter().map(|w| w.cluster.index()))
+            & inner.occupancy.mask_for(dst_walkable.iter().map(|w| w.cluster.index()));
+
+        let mut out = Vec::new();
+        let mut candidates = 0usize;
+        for i in 0..inner.shards.len() {
+            if mask & (1u64 << i) == 0 {
+                continue;
+            }
+            let (guard, _hold) = self.read_shard(i);
+            candidates += collect_matches(&guard, src_walkable, dst_walkable, req, &mut out);
+        }
+        inner.metrics.search_candidates.record(candidates as u64);
+        tspan.attr("candidates", candidates);
+        tspan.attr("shards", u64::from(mask.count_ones()));
+
+        sort_matches(&mut out);
+        out.truncate(limit);
+        tspan.attr("matches", out.len());
+        tier_hist.record(t0.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
+    /// **Create** (operation O2): one write lock on the shard owning
+    /// the offer's pick-up cluster.
+    pub fn create_ride(&self, offer: &RideOffer) -> Result<RideId, XarError> {
+        let region = &self.inner.region;
+        let shard = region
+            .cluster_of_node(region.snap_exact(&offer.source))
+            .map_or(0, |c| self.shard_of_cluster(c));
+        let (mut guard, _hold) = self.write_shard(shard);
+        guard.create_ride(offer)
+    }
+
+    /// **Book**: one write lock on the ride's owning shard (recovered
+    /// from the id — no probing).
+    pub fn book(&self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
+        let (mut guard, _hold) = self.write_shard(self.shard_of_ride(m.ride));
+        guard.book(m)
+    }
+
+    /// **Track** one ride: one write lock on its owning shard.
+    pub fn track_ride(&self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
+        let (mut guard, _hold) = self.write_shard(self.shard_of_ride(id));
+        guard.track_ride(id, now_s)
+    }
+
+    /// **Track** every live ride to `now_s`: a per-shard sweep that
+    /// write-locks one shard at a time — searches on other shards are
+    /// never stalled. Shards with zero rides are skipped after a
+    /// read-locked probe (no write lock taken at all). Returns the
+    /// number of rides retired.
+    pub fn track_all(&self, now_s: f64) -> usize {
+        let mut retired = 0;
+        for i in 0..self.inner.shards.len() {
+            {
+                let (guard, _hold) = self.read_shard(i);
+                if guard.ride_count() == 0 {
+                    continue;
+                }
+            }
+            let (mut guard, _hold) = self.write_shard(i);
+            retired += guard.track_all(now_s);
+        }
+        retired
+    }
+
+    /// Total live rides across all shards.
+    pub fn ride_count(&self) -> usize {
+        (0..self.inner.shards.len())
+            .map(|i| {
+                let (guard, _hold) = self.read_shard(i);
+                guard.ride_count()
+            })
+            .sum()
+    }
+
+    /// Run a read-only closure against one shard's engine (shared
+    /// lock) — stats, inspection, tests.
+    pub fn with_shard_read<R>(&self, shard: usize, f: impl FnOnce(&XarEngine) -> R) -> R {
+        let (guard, _hold) = self.read_shard(shard);
+        f(&guard)
+    }
+
+    /// Visit every live ride across all shards (shards read-locked one
+    /// at a time) — audits and invariant checks.
+    pub fn for_each_ride(&self, mut f: impl FnMut(&Ride)) {
+        for i in 0..self.inner.shards.len() {
+            let (guard, _hold) = self.read_shard(i);
+            for ride in guard.rides() {
+                f(ride);
+            }
+        }
+    }
+
+    /// Total heap bytes: the shared region tables once, plus every
+    /// shard's private runtime state (index + rides).
+    pub fn heap_bytes(&self) -> usize {
+        let runtime: usize = (0..self.inner.shards.len())
+            .map(|i| {
+                let (guard, _hold) = self.read_shard(i);
+                guard.heap_bytes_runtime()
+            })
+            .sum();
+        self.inner.region.heap_bytes() + runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_discretize::{ClusterGoal, RegionConfig};
+    use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig, RoadGraph};
+
+    fn region(seed: u64) -> Arc<RegionIndex> {
+        let graph = Arc::new(CityConfig::test_city(seed).generate());
+        let pois = sample_pois(&graph, &PoiConfig { count: 400, ..Default::default() });
+        Arc::new(RegionIndex::build(
+            graph,
+            &pois,
+            RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+        ))
+    }
+
+    fn offer(graph: &Arc<RoadGraph>, i: u32) -> RideOffer {
+        let n = graph.node_count() as u32;
+        RideOffer::simple(
+            graph.point(NodeId((i * 37) % n)),
+            graph.point(NodeId((i * 61 + n / 2) % n)),
+            8.0 * 3600.0 + f64::from(i) * 60.0,
+            3,
+            3_000.0,
+        )
+    }
+
+    #[test]
+    fn ride_ids_are_unique_and_map_back_to_their_shard() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            if let Ok(id) = eng.create_ride(&offer(&graph, i)) {
+                ids.push(id);
+            }
+        }
+        assert!(ids.len() > 10, "most creates must succeed");
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "ids globally unique across shards");
+        // Every id's computed shard actually holds the ride.
+        for id in &ids {
+            let s = eng.shard_of_ride(*id);
+            assert!(eng.with_shard_read(s, |e| e.ride(*id).is_some()), "ride {id:?} in shard {s}");
+        }
+        assert_eq!(eng.ride_count(), ids.len());
+    }
+
+    #[test]
+    fn search_spans_shards_and_matches_are_bookable() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        for i in 0..30 {
+            let _ = eng.create_ride(&offer(&graph, i));
+        }
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        let matches = eng.search(&req, usize::MAX).unwrap();
+        assert!(!matches.is_empty(), "cross-town rides must be findable");
+        // Matches come back globally sorted by combined walking.
+        for w in matches.windows(2) {
+            assert!(w[0].walk_total_m() <= w[1].walk_total_m() + 1e-9);
+        }
+        let booked = eng.book(&matches[0]).expect("best match books");
+        assert_eq!(booked.ride, matches[0].ride);
+        let s = eng.stats().snapshot();
+        assert_eq!(s.bookings, 1);
+        assert_eq!(s.searches, 1);
+    }
+
+    #[test]
+    fn occupancy_prunes_empty_shards() {
+        let region = region(31);
+        let clusters = region.cluster_count();
+        let graph = Arc::clone(region.graph());
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 8);
+        // Empty engine: no cluster maps to any shard.
+        assert_eq!(eng.occupancy().mask_for(0..clusters), 0);
+        let id = eng.create_ride(&offer(&graph, 3)).unwrap();
+        let mask = eng.occupancy().mask_for(0..clusters);
+        assert_eq!(mask, 1 << eng.shard_of_ride(id), "exactly the owning shard is occupied");
+        // Drive the ride to completion: occupancy drains back to zero.
+        eng.track_all(f64::INFINITY);
+        assert_eq!(eng.ride_count(), 0);
+        assert_eq!(eng.occupancy().mask_for(0..clusters), 0);
+    }
+
+    #[test]
+    fn track_all_skips_empty_shards_without_write_locks() {
+        let region = region(31);
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        let writes_before = eng.registry().histogram("lock.write_hold_ns").count();
+        assert_eq!(eng.track_all(9.0 * 3600.0), 0);
+        let writes_after = eng.registry().histogram("lock.write_hold_ns").count();
+        assert_eq!(writes_before, writes_after, "empty sweep must not take write locks");
+    }
+
+    #[test]
+    fn per_shard_lock_series_are_labeled() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 2);
+        let _ = eng.create_ride(&offer(&graph, 1));
+        let json = eng.registry().snapshot_json();
+        assert!(
+            json.contains("lock.write_hold_ns{shard=\\\"s0\\\"}")
+                || json.contains("lock.write_hold_ns{shard=\\\"s1\\\"}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn from_engine_single_shard_preserves_rides() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let mut engine = XarEngine::new(Arc::clone(&region), EngineConfig::default());
+        let id = engine.create_ride(&offer(&graph, 2)).unwrap();
+        let sharded = ShardedXarEngine::from_engine(engine, 1);
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.ride_count(), 1);
+        // The pre-existing ride is findable: occupancy was back-filled.
+        assert!(sharded.occupancy().mask_for(0..region.cluster_count()) != 0);
+        assert!(sharded.with_shard_read(0, |e| e.ride(id).is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-stripe")]
+    fn from_engine_multi_shard_rejects_populated_engine() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let mut engine = XarEngine::new(region, EngineConfig::default());
+        let _ = engine.create_ride(&offer(&graph, 2)).unwrap();
+        let _ = ShardedXarEngine::from_engine(engine, 4);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let region = region(31);
+        let eng = ShardedXarEngine::new(Arc::clone(&region), EngineConfig::default(), 0);
+        assert_eq!(eng.shard_count(), 1);
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 1_000);
+        assert_eq!(eng.shard_count(), MAX_SHARDS);
+    }
+}

@@ -75,7 +75,8 @@ fn create_populates_index() {
             let _ = c;
         }
     }
-    let (_, creates, _, _, sps) = eng.stats().snapshot();
+    let s = eng.stats().snapshot();
+    let (creates, sps) = (s.creates, s.shortest_paths);
     assert_eq!(creates, 1);
     assert_eq!(sps, 1, "creation computes exactly one shortest path");
 }
@@ -322,12 +323,13 @@ fn searches_never_compute_shortest_paths() {
     let mut eng = engine();
     let g = Arc::clone(eng.region().graph());
     eng.create_ride(&cross_city_offer(&g)).unwrap();
-    let (_, _, _, _, sps_before) = eng.stats().snapshot();
+    let sps_before = eng.stats().snapshot().shortest_paths;
     let req = mid_to_corner_request(&g);
     for _ in 0..50 {
         let _ = eng.search(&req, usize::MAX).unwrap();
     }
-    let (searches, _, _, _, sps_after) = eng.stats().snapshot();
+    let after = eng.stats().snapshot();
+    let (searches, sps_after) = (after.searches, after.shortest_paths);
     assert_eq!(searches, 50);
     assert_eq!(sps_after, sps_before, "search performed a shortest-path computation");
 }

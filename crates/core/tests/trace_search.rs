@@ -60,7 +60,7 @@ fn search_trees_contain_no_shortest_path_spans() {
     }
 
     // Phase 2 (traced): a search-only workload.
-    let (_, _, _, _, sps_before) = eng.stats().snapshot();
+    let sps_before = eng.stats().snapshot().shortest_paths;
     for i in 0..50u32 {
         let _root = rec.start_root("search_request");
         let req = RideRequest {
@@ -72,7 +72,8 @@ fn search_trees_contain_no_shortest_path_spans() {
         };
         let _ = eng.search(&req, usize::MAX);
     }
-    let (searches, _, _, _, sps_after) = eng.stats().snapshot();
+    let after = eng.stats().snapshot();
+    let (searches, sps_after) = (after.searches, after.shortest_paths);
 
     rec.set_enabled(false);
     let json = export_chrome(&rec.snapshot());

@@ -180,7 +180,8 @@ mod tests {
             assert!(*w <= 800.0 + 1e-9);
         }
         // XAR search never computes shortest paths.
-        let (_, creates, bookings, _, sps) = backend.engine.stats().snapshot();
+        let s = backend.engine.stats().snapshot();
+        let (creates, bookings, sps) = (s.creates, s.bookings, s.shortest_paths);
         assert!(sps <= creates + 4 * bookings, "search leaked shortest paths");
         // The run's registry covers both the simulator phases and the
         // engine internals.

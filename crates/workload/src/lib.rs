@@ -34,11 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod parallel;
 pub mod report;
 pub mod sim;
 pub mod trips;
 
 pub use backend::{TShareBackend, XarBackend};
+pub use parallel::{
+    run_parallel_simulation, run_scaling_point, scaling_curve_json, ConcurrentBackend,
+    ScalingPoint, ShardedXarBackend,
+};
 pub use report::{percentile, percentile_ns, SimReport};
 pub use sim::{run_simulation, RideBackend, SimConfig};
 pub use trips::{generate_trips, Trip, TripGenConfig};

@@ -1,0 +1,486 @@
+//! Multi-threaded closed-loop simulation driver.
+//!
+//! The serial driver ([`crate::sim::run_simulation`]) replays trips
+//! from one thread — fine for measuring algorithmic latencies, useless
+//! for measuring engine *scaling*. This module drives a shard-safe
+//! backend from `N` closed-loop worker threads:
+//!
+//! * [`ConcurrentBackend`] is the `&self` twin of
+//!   [`crate::sim::RideBackend`]: every operation takes a shared
+//!   reference, so one backend instance serves all threads.
+//!   [`ShardedXarBackend`] implements it over
+//!   [`xar_core::ShardedXarEngine`].
+//! * Trips are dealt **round-robin** (thread `t` replays trips
+//!   `t, t+N, t+2N, …`), so each thread's private stream stays sorted
+//!   by request time and the interleaving across threads approximates
+//!   the serial arrival order — no thread runs ahead into "the future"
+//!   by more than its stride.
+//! * Each thread runs the §X.A.2 protocol (search; book best, falling
+//!   through stale matches; else create) against the shared backend and
+//!   accumulates a private [`SimReport`]; the partial reports are
+//!   merged after the join. Outcome counters
+//!   (`sim.requests{outcome=…}`, `sim.requests_total`) are recorded
+//!   into the shared registry as the run progresses, so live dashboards
+//!   see the parallel run exactly like a serial one.
+//! * Thread 0 doubles as the **tracker**: it advances simulated time
+//!   and runs the periodic tracking sweeps, mirroring a deployment
+//!   where tracking is one background task competing with foreground
+//!   request traffic.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use xar_core::{RideMatch, RideOffer, RideRequest, ShardedXarEngine};
+use xar_obs::Registry;
+
+use crate::report::SimReport;
+use crate::sim::{BookResult, SimConfig};
+use crate::trips::Trip;
+
+/// A ride-sharing system safe to drive from many threads at once: the
+/// `&self` twin of [`crate::sim::RideBackend`].
+pub trait ConcurrentBackend: Sync {
+    /// An opaque match handle.
+    type Match: Send;
+
+    /// Search for rides serving `trip`; up to `k` matches, best first.
+    fn search(&self, trip: &Trip, cfg: &SimConfig) -> Vec<Self::Match>;
+    /// Book a match; [`BookResult::Failed`] if it went stale.
+    fn book(&self, m: &Self::Match, cfg: &SimConfig) -> BookResult;
+    /// Offer `trip` as a new ride; `false` if it could not be created.
+    fn create(&self, trip: &Trip, cfg: &SimConfig) -> bool;
+    /// Advance the system clock (tracking sweep).
+    fn track(&self, now_s: f64);
+    /// The backend's metric registry, when it keeps one.
+    fn registry(&self) -> Option<Arc<Registry>> {
+        None
+    }
+    /// Short system name for reports.
+    fn name(&self) -> &'static str {
+        "backend"
+    }
+}
+
+/// The sharded XAR engine under parallel simulation.
+pub struct ShardedXarBackend {
+    /// The engine (public so harnesses can audit rides and stats after
+    /// a run).
+    pub engine: ShardedXarEngine,
+}
+
+impl ShardedXarBackend {
+    /// Wrap an engine.
+    pub fn new(engine: ShardedXarEngine) -> Self {
+        Self { engine }
+    }
+
+    fn request(trip: &Trip, cfg: &SimConfig) -> RideRequest {
+        RideRequest {
+            source: trip.pickup,
+            destination: trip.dropoff,
+            window_start_s: trip.pickup_s,
+            window_end_s: trip.pickup_s + cfg.window_s,
+            walk_limit_m: cfg.walk_limit_m,
+        }
+    }
+}
+
+impl ConcurrentBackend for ShardedXarBackend {
+    type Match = RideMatch;
+
+    fn search(&self, trip: &Trip, cfg: &SimConfig) -> Vec<RideMatch> {
+        self.engine.search(&Self::request(trip, cfg), cfg.k).unwrap_or_default()
+    }
+
+    fn book(&self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
+        match self.engine.book(m) {
+            Ok(out) => BookResult::Booked {
+                actual_detour_m: out.actual_detour_m,
+                estimated_detour_m: out.estimated_detour_m,
+                walk_m: out.walk_total_m,
+                budget_before_m: out.detour_budget_before_m,
+                pickup_eta_s: out.pickup_eta_s,
+                dropoff_eta_s: out.dropoff_eta_s,
+            },
+            Err(_) => BookResult::Failed,
+        }
+    }
+
+    fn create(&self, trip: &Trip, cfg: &SimConfig) -> bool {
+        self.engine
+            .create_ride(&RideOffer {
+                source: trip.pickup,
+                destination: trip.dropoff,
+                departure_s: trip.pickup_s,
+                seats: cfg.seats,
+                detour_limit_m: cfg.detour_limit_m,
+                driver: None,
+                via: Vec::new(),
+            })
+            .is_ok()
+    }
+
+    fn track(&self, now_s: f64) {
+        self.engine.track_all(now_s);
+    }
+
+    fn registry(&self) -> Option<Arc<Registry>> {
+        Some(self.engine.registry())
+    }
+
+    fn name(&self) -> &'static str {
+        "xar-sharded"
+    }
+}
+
+/// Replay `trips` through `backend` from `threads` closed-loop workers
+/// (clamped to ≥ 1) and return the merged report plus per-thread
+/// protocol side effects. Thread `t` replays every `threads`-th trip
+/// starting at `t`; thread 0 additionally runs the tracking sweeps at
+/// `cfg.track_every_s` intervals of simulated time.
+///
+/// With `threads == 1` this is the serial §X.A.2 protocol driven
+/// through the `&self` backend interface (modulo request tracing, which
+/// stays the serial driver's job).
+pub fn run_parallel_simulation<B: ConcurrentBackend>(
+    backend: &B,
+    trips: &[Trip],
+    cfg: &SimConfig,
+    threads: usize,
+) -> SimReport {
+    let threads = threads.max(1);
+    let registry = backend.registry().unwrap_or_else(|| Arc::new(Registry::new()));
+    let mut partials: Vec<SimReport> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let slice: Vec<&Trip> =
+                        trips.iter().skip(t).step_by(threads).collect();
+                    run_worker(backend, &slice, cfg, &registry, t == 0)
+                })
+            })
+            .collect();
+        for h in handles {
+            // A worker panic is a test/bench failure; propagate it.
+            partials.push(h.join().expect("simulation worker panicked"));
+        }
+    });
+    let mut report = SimReport::default();
+    for p in partials {
+        report.merge(p);
+    }
+    report.registry = Some(registry);
+    report
+}
+
+/// One worker's closed loop over its private, time-sorted trip slice.
+fn run_worker<B: ConcurrentBackend>(
+    backend: &B,
+    trips: &[&Trip],
+    cfg: &SimConfig,
+    registry: &Arc<Registry>,
+    tracker: bool,
+) -> SimReport {
+    let mut report = SimReport::default();
+    let search_h = registry.histogram("sim.search_ns");
+    let book_h = registry.histogram("sim.book_ns");
+    let create_h = registry.histogram("sim.create_ns");
+    let track_h = registry.histogram("sim.track_ns");
+    let requests_total = registry.counter("sim.requests_total");
+    let req_booked = registry.counter_with("sim.requests", &[("outcome", "booked")]);
+    let req_created = registry.counter_with("sim.requests", &[("outcome", "created")]);
+    let req_unservable = registry.counter_with("sim.requests", &[("outcome", "unservable")]);
+    let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
+    for trip in trips {
+        if tracker {
+            if let Some(every) = cfg.track_every_s {
+                while trip.pickup_s >= next_track {
+                    let t0 = Instant::now();
+                    backend.track(next_track);
+                    track_h.record(t0.elapsed().as_nanos() as u64);
+                    next_track += every;
+                }
+            }
+        }
+
+        for _ in 0..cfg.lookups_per_request {
+            let t0 = Instant::now();
+            let _ = backend.search(trip, cfg);
+            let ns = t0.elapsed().as_nanos() as u64;
+            report.search_ns.push(ns);
+            search_h.record(ns);
+            report.looks += 1;
+        }
+
+        let t0 = Instant::now();
+        let matches = backend.search(trip, cfg);
+        let ns = t0.elapsed().as_nanos() as u64;
+        report.search_ns.push(ns);
+        search_h.record(ns);
+        report.looks += 1;
+        report.matches_returned += matches.len() as u64;
+
+        let mut booked = false;
+        for m in &matches {
+            let t0 = Instant::now();
+            let res = backend.book(m, cfg);
+            let ns = t0.elapsed().as_nanos() as u64;
+            report.book_ns.push(ns);
+            book_h.record(ns);
+            if let BookResult::Booked {
+                actual_detour_m,
+                estimated_detour_m,
+                walk_m,
+                budget_before_m,
+                ..
+            } = res
+            {
+                report.booked += 1;
+                requests_total.inc();
+                req_booked.inc();
+                report.detour_actual_m.push(actual_detour_m);
+                report.detour_estimated_m.push(estimated_detour_m);
+                report
+                    .detour_excess_m
+                    .push((actual_detour_m - budget_before_m).max(0.0));
+                report.walk_m.push(walk_m);
+                booked = true;
+                break;
+            }
+            report.stale_matches += 1;
+        }
+        if !booked {
+            let t0 = Instant::now();
+            let ok = backend.create(trip, cfg);
+            let ns = t0.elapsed().as_nanos() as u64;
+            report.create_ns.push(ns);
+            create_h.record(ns);
+            requests_total.inc();
+            if ok {
+                report.created += 1;
+                req_created.inc();
+            } else {
+                report.unservable += 1;
+                req_unservable.inc();
+            }
+        }
+    }
+    report
+}
+
+/// One measured point of the engine scaling curve: a full closed-loop
+/// replay at a fixed worker count, with throughput, latency tails and a
+/// post-run capacity audit. Produced by [`run_scaling_point`]; consumed
+/// by `xar bench` and the `bench_engine` harness
+/// (`results/BENCH_engine.json`, schema in EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker threads driving the closed loop.
+    pub threads: usize,
+    /// Shards in the engine under test.
+    pub shards: usize,
+    /// Wall-clock seconds for the whole replay.
+    pub wall_s: f64,
+    /// Requests resolved per wall-clock second.
+    pub requests_per_s: f64,
+    /// Searches issued per wall-clock second (the paper's dominant
+    /// operation under a high look-to-book ratio).
+    pub searches_per_s: f64,
+    /// Median search latency, nanoseconds.
+    pub search_p50_ns: f64,
+    /// Tail search latency, nanoseconds.
+    pub search_p99_ns: f64,
+    /// Requests served by sharing an existing ride.
+    pub booked: u64,
+    /// Requests that created a new ride.
+    pub created: u64,
+    /// Requests that could do neither.
+    pub unservable: u64,
+    /// Rides whose bookings exceed their offered seats — must be 0;
+    /// non-zero means the engine lost a seat update under concurrency.
+    pub overbooked_rides: u64,
+}
+
+impl ScalingPoint {
+    /// This point as one JSON object (the element schema of the
+    /// `points` array in `results/BENCH_engine.json`, see
+    /// EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let mut w = xar_obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("threads");
+        w.number_u64(self.threads as u64);
+        w.key("shards");
+        w.number_u64(self.shards as u64);
+        w.key("wall_s");
+        w.number_f64(self.wall_s);
+        w.key("requests_per_s");
+        w.number_f64(self.requests_per_s);
+        w.key("searches_per_s");
+        w.number_f64(self.searches_per_s);
+        w.key("search_p50_ns");
+        w.number_f64(self.search_p50_ns);
+        w.key("search_p99_ns");
+        w.number_f64(self.search_p99_ns);
+        w.key("booked");
+        w.number_u64(self.booked);
+        w.key("created");
+        w.number_u64(self.created);
+        w.key("unservable");
+        w.number_u64(self.unservable);
+        w.key("overbooked_rides");
+        w.number_u64(self.overbooked_rides);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Assemble a full engine-scaling curve document (the
+/// `results/BENCH_engine.json` schema): run parameters, the measuring
+/// host's core count, and one [`ScalingPoint`] object per worker count.
+pub fn scaling_curve_json(
+    meta: &[(&str, f64)],
+    cores: usize,
+    points: &[ScalingPoint],
+) -> String {
+    let mut w = xar_obs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("engine_scaling");
+    for (k, v) in meta {
+        w.key(k);
+        w.number_f64(*v);
+    }
+    w.key("cores");
+    w.number_u64(cores as u64);
+    w.key("points");
+    w.begin_array();
+    for p in points {
+        w.raw(&p.to_json());
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Replay `trips` through a fresh `shards`-shard engine with `threads`
+/// closed-loop workers and measure one [`ScalingPoint`]. The engine is
+/// built inside so successive points (1/2/4/8 threads) start from
+/// identical empty state.
+pub fn run_scaling_point(
+    region: &Arc<xar_discretize::RegionIndex>,
+    engine_cfg: &xar_core::EngineConfig,
+    trips: &[Trip],
+    cfg: &SimConfig,
+    threads: usize,
+    shards: usize,
+) -> ScalingPoint {
+    let backend = ShardedXarBackend::new(ShardedXarEngine::new(
+        Arc::clone(region),
+        engine_cfg.clone(),
+        shards,
+    ));
+    let t0 = Instant::now();
+    let report = run_parallel_simulation(&backend, trips, cfg, threads);
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let mut overbooked = 0u64;
+    backend.engine.for_each_ride(|r| {
+        if r.bookings.len() > usize::from(cfg.seats) {
+            overbooked += 1;
+        }
+    });
+    ScalingPoint {
+        threads: threads.max(1),
+        shards: backend.engine.shard_count(),
+        wall_s,
+        requests_per_s: (report.booked + report.created + report.unservable) as f64 / wall_s,
+        searches_per_s: report.looks as f64 / wall_s,
+        search_p50_ns: crate::report::percentile_ns(&report.search_ns, 50.0),
+        search_p99_ns: crate::report::percentile_ns(&report.search_ns, 99.0),
+        booked: report.booked,
+        created: report.created,
+        unservable: report.unservable,
+        overbooked_rides: overbooked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trips::{generate_trips, TripGenConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A scripted thread-safe backend to validate driver mechanics
+    /// without an engine.
+    struct CountingBackend {
+        searches: AtomicU64,
+        creates: AtomicU64,
+        tracks: AtomicU64,
+    }
+
+    impl ConcurrentBackend for CountingBackend {
+        type Match = ();
+        fn search(&self, _: &Trip, _: &SimConfig) -> Vec<()> {
+            self.searches.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        }
+        fn book(&self, _: &(), _: &SimConfig) -> BookResult {
+            BookResult::Failed
+        }
+        fn create(&self, _: &Trip, _: &SimConfig) -> bool {
+            self.creates.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        fn track(&self, _: f64) {
+            self.tracks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn every_trip_is_replayed_exactly_once() {
+        let g = xar_roadnet::CityConfig::test_city(9).generate();
+        let trips = generate_trips(&g, &TripGenConfig { count: 101, ..Default::default() });
+        let b = CountingBackend {
+            searches: AtomicU64::new(0),
+            creates: AtomicU64::new(0),
+            tracks: AtomicU64::new(0),
+        };
+        let cfg = SimConfig { track_every_s: Some(600.0), ..Default::default() };
+        let r = run_parallel_simulation(&b, &trips, &cfg, 4);
+        assert_eq!(b.searches.load(Ordering::Relaxed), 101);
+        assert_eq!(b.creates.load(Ordering::Relaxed), 101);
+        assert!(b.tracks.load(Ordering::Relaxed) > 0, "thread 0 must run sweeps");
+        assert_eq!(r.looks, 101);
+        assert_eq!(r.created, 101);
+        assert_eq!(r.booked + r.created + r.unservable, 101);
+        // Registry counters agree with the merged report.
+        let reg = r.registry.as_ref().unwrap();
+        assert_eq!(reg.counter("sim.requests_total").get(), 101);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let g = xar_roadnet::CityConfig::test_city(9).generate();
+        let trips = generate_trips(&g, &TripGenConfig { count: 10, ..Default::default() });
+        let b = CountingBackend {
+            searches: AtomicU64::new(0),
+            creates: AtomicU64::new(0),
+            tracks: AtomicU64::new(0),
+        };
+        let cfg = SimConfig { track_every_s: None, ..Default::default() };
+        let r = run_parallel_simulation(&b, &trips, &cfg, 0);
+        assert_eq!(r.looks, 10);
+    }
+
+    #[test]
+    fn per_thread_slices_stay_time_sorted() {
+        let g = xar_roadnet::CityConfig::test_city(11).generate();
+        let trips = generate_trips(&g, &TripGenConfig { count: 40, ..Default::default() });
+        for t in 0..4 {
+            let slice: Vec<&Trip> = trips.iter().skip(t).step_by(4).collect();
+            assert!(slice.windows(2).all(|w| w[0].pickup_s <= w[1].pickup_s));
+        }
+    }
+}

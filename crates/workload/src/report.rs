@@ -45,6 +45,29 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Fold another report into this one: latency samples are
+    /// concatenated, counters summed. Used by the parallel driver to
+    /// combine per-thread partial reports; the registry (shared by all
+    /// threads) is kept from whichever side has one.
+    pub fn merge(&mut self, other: SimReport) {
+        self.search_ns.extend(other.search_ns);
+        self.create_ns.extend(other.create_ns);
+        self.book_ns.extend(other.book_ns);
+        self.looks += other.looks;
+        self.matches_returned += other.matches_returned;
+        self.booked += other.booked;
+        self.created += other.created;
+        self.stale_matches += other.stale_matches;
+        self.unservable += other.unservable;
+        self.detour_actual_m.extend(other.detour_actual_m);
+        self.detour_estimated_m.extend(other.detour_estimated_m);
+        self.walk_m.extend(other.walk_m);
+        self.detour_excess_m.extend(other.detour_excess_m);
+        if self.registry.is_none() {
+            self.registry = other.registry;
+        }
+    }
+
     /// Detour-approximation errors `actual − estimated` (clamped at 0),
     /// metres — the quantity Figure 3a plots against ε.
     pub fn detour_errors_m(&self) -> Vec<f64> {

@@ -64,7 +64,9 @@ fn main() {
         percentile_ns(&report.book_ns, 95.0) / 1e3,
     );
 
-    let (searches, creates, bookings, tracks, sps) = backend.engine.stats().snapshot();
+    let s = backend.engine.stats().snapshot();
+    let (searches, creates, bookings, tracks, sps) =
+        (s.searches, s.creates, s.bookings, s.tracks, s.shortest_paths);
     println!("\n== engine counters ==");
     println!("searches {searches} | creates {creates} | bookings {bookings} | tracking sweeps {tracks}");
     println!("shortest paths computed: {sps} (creation + booking only — zero on the search path)");

@@ -13,7 +13,7 @@
 //!              [--walk M] [--window S] [--detour M] [--json FILE]
 //!              [--metrics-out FILE] [--trace-out FILE]
 //!              [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N]
-//!              [--baseline tshare]
+//!              [--baseline tshare] [--threads N] [--shards N]
 //!     Run the paper's §X.A.2 ride-sharing simulation over a synthetic
 //!     taxi day and report outcome + latency statistics. `--json` dumps
 //!     the full report (counters, percentiles, metrics) as JSON;
@@ -24,7 +24,21 @@
 //!     default 1.0, plus a `--trace-sample` fraction of the rest,
 //!     default 0.01). `--baseline tshare` replays the same trips
 //!     through the T-Share baseline so the trace and metrics cover
-//!     both systems.
+//!     both systems. `--threads N` (default 1) drives the replay from
+//!     N closed-loop workers against the cluster-sharded engine
+//!     (`--shards`, default 8); an invalid `--threads` value exits
+//!     with code 9.
+//!
+//! xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N]
+//!           [--threads LIST] [--min-scaling F] [--json FILE]
+//!     Engine scaling bench: build a small city in-process and replay
+//!     the same trip day through a fresh sharded engine at each worker
+//!     count in `--threads` (comma-separated, default `1,2,4,8`),
+//!     printing throughput and search p50/p99 per point. Any overbooked
+//!     ride, or — with `--min-scaling F` — a final-point search
+//!     throughput below `F ×` the first point's, exits with code 7.
+//!     `--json` writes the curve machine-readably (the
+//!     `results/BENCH_engine.json` schema, see EXPERIMENTS.md).
 //!
 //! xar trace --in trace.json [--top N] [--check]
 //!     Print the N slowest request timelines (per-span self-time,
@@ -62,13 +76,13 @@ use xar_obs::window::{WindowConfig, WindowStore};
 use xar_obs::chrome::{export_chrome, parse_chrome, Attrs, Timeline};
 use xar_obs::json::JsonValue;
 use xar_obs::TraceConfig;
-use xhare_a_ride::core::{EngineConfig, XarEngine};
+use xhare_a_ride::core::{EngineConfig, ShardedXarEngine, XarEngine, DEFAULT_SHARDS, MAX_SHARDS};
 use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
 use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
 use xhare_a_ride::tshare::{TShareConfig, TShareEngine};
 use xhare_a_ride::workload::{
-    generate_trips, percentile_ns, run_simulation, SimConfig, TShareBackend, TripGenConfig,
-    XarBackend,
+    generate_trips, percentile_ns, run_parallel_simulation, run_scaling_point, run_simulation,
+    ScalingPoint, ShardedXarBackend, SimConfig, TShareBackend, TripGenConfig, XarBackend,
 };
 
 /// Flags that take no value (presence alone means `true`).
@@ -151,7 +165,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -206,7 +220,76 @@ fn inspect(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--threads` as a single worker count (default 1). Invalid
+/// values — non-numeric, zero, out of range — exit with the distinct
+/// code 9 so scripts can tell a bad invocation from a failed run.
+fn parse_threads_flag(flags: &Flags) -> Result<usize, CmdError> {
+    match flags.get_opt("threads") {
+        None => Ok(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if (1..=256).contains(&n) => Ok(n),
+            _ => Err(CmdError::coded(
+                9,
+                format!(
+                    "--threads must be an integer in 1..=256, got '{v}' \
+                     (use --threads 1 for the serial driver)"
+                ),
+            )),
+        },
+    }
+}
+
+/// Parse `--threads` as a comma-separated sweep list (`xar bench`;
+/// default `1,2,4,8`). Shares the exit-code-9 contract of
+/// [`parse_threads_flag`].
+fn parse_threads_list(flags: &Flags) -> Result<Vec<usize>, CmdError> {
+    let Some(v) = flags.get_opt("threads") else { return Ok(vec![1, 2, 4, 8]) };
+    let mut out = Vec::new();
+    for part in v.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(n) if (1..=256).contains(&n) => out.push(n),
+            _ => {
+                return Err(CmdError::coded(
+                    9,
+                    format!(
+                        "--threads expects a comma-separated list of integers in 1..=256, \
+                         got '{v}'"
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse `--shards` (default [`DEFAULT_SHARDS`]); out-of-range values
+/// share the exit-code-9 contract.
+fn parse_shards_flag(flags: &Flags) -> Result<usize, CmdError> {
+    match flags.get_opt("shards") {
+        None => Ok(DEFAULT_SHARDS),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if (1..=MAX_SHARDS).contains(&n) => Ok(n),
+            _ => Err(CmdError::coded(
+                9,
+                format!("--shards must be an integer in 1..={MAX_SHARDS}, got '{v}'"),
+            )),
+        },
+    }
+}
+
+/// The simulation's system under test: the serial single-engine
+/// backend (default; carries the full request-tracing path) or the
+/// sharded engine driven by N closed-loop workers.
+enum SimUnderTest {
+    Serial(Box<XarBackend>),
+    Parallel(ShardedXarBackend),
+}
+
 fn simulate(flags: &Flags) -> Result<(), CmdError> {
+    // Validated before any heavy work so a bad value fails fast with
+    // its distinct exit code.
+    let threads = parse_threads_flag(flags)?;
+    let shards = parse_shards_flag(flags)?;
     let path = flags.require("region")?;
     let trips_n: usize = flags.get("trips", 10_000)?;
     let seed: u64 = flags.get("seed", 0x7A11)?;
@@ -240,7 +323,19 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
         &TripGenConfig { count: trips_n, seed, ..Default::default() },
     );
     eprintln!("simulating {} trips on {} clusters...", trips.len(), region.cluster_count());
-    let mut backend = XarBackend::new(XarEngine::new(Arc::clone(&region), EngineConfig::default()));
+    let mut sim = if threads == 1 {
+        SimUnderTest::Serial(Box::new(XarBackend::new(XarEngine::new(
+            Arc::clone(&region),
+            EngineConfig::default(),
+        ))))
+    } else {
+        eprintln!("parallel driver: {threads} worker threads over {shards} shards");
+        SimUnderTest::Parallel(ShardedXarBackend::new(ShardedXarEngine::new(
+            Arc::clone(&region),
+            EngineConfig::default(),
+            shards,
+        )))
+    };
     let cfg = SimConfig { walk_limit_m: walk, window_s: window, detour_limit_m: detour, k, ..Default::default() };
 
     // Live operational plane: windowed series + SLO rules + optionally
@@ -257,8 +352,10 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
         rules.push(SloRule::parse(spec).map_err(|e| format!("--slo '{spec}': {e}"))?);
     }
     let plane = if serve_addr.is_some() || !rules.is_empty() || slo_fail {
-        use xhare_a_ride::workload::RideBackend as _;
-        let registry = backend.registry().expect("the XAR backend keeps a registry");
+        let registry = match &sim {
+            SimUnderTest::Serial(b) => b.engine.metrics().registry(),
+            SimUnderTest::Parallel(b) => b.engine.registry(),
+        };
         // Ring capacity: enough ticks to cover the 60 s rolling window.
         let capacity = (60_000_u64.div_ceil(tick_ms) as usize + 1).clamp(8, 4_096);
         Some(OpsPlane {
@@ -303,7 +400,10 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
         }
     }
 
-    let report = run_simulation(&mut backend, &trips, &cfg);
+    let report = match &mut sim {
+        SimUnderTest::Serial(b) => run_simulation(b.as_mut(), &trips, &cfg),
+        SimUnderTest::Parallel(b) => run_parallel_simulation(&*b, &trips, &cfg, threads),
+    };
 
     println!("trips          : {}", trips.len());
     println!("booked         : {} ({:.1}% share rate)", report.booked, report.share_rate() * 100.0);
@@ -320,12 +420,16 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
         percentile_ns(&report.create_ns, 50.0) / 1e3,
         percentile_ns(&report.book_ns, 50.0) / 1e3,
     );
-    let (_, _, _, _, sps) = backend.engine.stats().snapshot();
+    let (sps, heap_bytes) = match &sim {
+        SimUnderTest::Serial(b) => {
+            (b.engine.stats().snapshot().shortest_paths, b.engine.heap_bytes())
+        }
+        SimUnderTest::Parallel(b) => {
+            (b.engine.stats().snapshot().shortest_paths, b.engine.heap_bytes())
+        }
+    };
     println!("shortest paths : {sps} (never during search)");
-    println!(
-        "runtime memory : {:.1} MiB",
-        backend.engine.heap_bytes() as f64 / (1024.0 * 1024.0)
-    );
+    println!("runtime memory : {:.1} MiB", heap_bytes as f64 / (1024.0 * 1024.0));
     for line in report.phase_summary() {
         println!("phase          : {line}");
     }
@@ -403,6 +507,100 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
             }
         } else if !plane.slo.rules().is_empty() {
             println!("slo fired      : none");
+        }
+    }
+    Ok(())
+}
+
+/// `xar bench`: the engine scaling bench. Builds a small city
+/// in-process, replays the same trip day through a fresh sharded
+/// engine at each worker count, and gates on capacity safety (any
+/// overbooked ride ⇒ exit 7) and — with `--min-scaling F` — on the
+/// final point's search throughput being at least `F ×` the first
+/// point's (anti-regression, exit 7).
+fn bench(flags: &Flags) -> Result<(), CmdError> {
+    let thread_counts = parse_threads_list(flags)?;
+    let shards = parse_shards_flag(flags)?;
+    let rows: usize = flags.get("rows", 30)?;
+    let cols: usize = flags.get("cols", 30)?;
+    let seed: u64 = flags.get("seed", 0xBE7C)?;
+    let trips_n: usize = flags.get("trips", 2_000)?;
+    let min_scaling: f64 = flags.get("min-scaling", 0.0)?;
+
+    eprintln!("bench city: {rows}x{cols} (seed {seed}), {trips_n} trips, {shards} shards");
+    let graph = Arc::new(CityConfig::manhattan(rows, cols, seed).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: rows * cols / 2, ..Default::default() });
+    let region = Arc::new(RegionIndex::build(
+        Arc::clone(&graph),
+        &pois,
+        RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+    ));
+    let trips =
+        generate_trips(&graph, &TripGenConfig { count: trips_n, seed, ..Default::default() });
+    let cfg = SimConfig::default();
+    let engine_cfg = EngineConfig::default();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "threads", "wall s", "req/s", "searches/s", "p50 µs", "p99 µs", "overbooked"
+    );
+    for &t in &thread_counts {
+        let p = run_scaling_point(&region, &engine_cfg, &trips, &cfg, t, shards);
+        println!(
+            "{:>7} {:>9.3} {:>12.0} {:>12.0} {:>12.1} {:>12.1} {:>10}",
+            p.threads,
+            p.wall_s,
+            p.requests_per_s,
+            p.searches_per_s,
+            p.search_p50_ns / 1e3,
+            p.search_p99_ns / 1e3,
+            p.overbooked_rides,
+        );
+        points.push(p);
+    }
+
+    if let Some(json) = flags.get_opt("json") {
+        let meta = [
+            ("rows", rows as f64),
+            ("cols", cols as f64),
+            ("seed", seed as f64),
+            ("trips", trips_n as f64),
+        ];
+        std::fs::write(json, xhare_a_ride::workload::scaling_curve_json(&meta, cores, &points))
+            .map_err(|e| format!("cannot write {json}: {e}"))?;
+        println!("curve          : {json} (cores {cores})");
+    }
+
+    // Gates — capacity safety first (always on), then the scaling
+    // anti-regression when requested.
+    if let Some(p) = points.iter().find(|p| p.overbooked_rides > 0) {
+        return Err(CmdError::coded(
+            7,
+            format!(
+                "{} ride(s) overbooked at {} threads — the engine lost seat updates",
+                p.overbooked_rides, p.threads
+            ),
+        ));
+    }
+    if min_scaling > 0.0 && points.len() >= 2 {
+        let first = &points[0];
+        let last = &points[points.len() - 1];
+        let ratio = last.searches_per_s / first.searches_per_s.max(1e-9);
+        println!(
+            "scaling        : {} threads at {:.2}x the {}-thread search throughput (gate {min_scaling}x)",
+            last.threads, ratio, first.threads
+        );
+        if ratio < min_scaling {
+            return Err(CmdError::coded(
+                7,
+                format!(
+                    "search throughput at {} threads is {ratio:.2}x the {}-thread run, \
+                     below the {min_scaling}x gate",
+                    last.threads, first.threads
+                ),
+            ));
         }
     }
     Ok(())
@@ -703,6 +901,7 @@ fn main() -> ExitCode {
         "build-region" => build_region(&flags).map_err(CmdError::from),
         "inspect" => inspect(&flags).map_err(CmdError::from),
         "simulate" => simulate(&flags),
+        "bench" => bench(&flags),
         "trace" => trace_cmd(&flags),
         "top" => top_cmd(&flags),
         "help" | "--help" | "-h" => {

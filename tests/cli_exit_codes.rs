@@ -2,7 +2,9 @@
 //! and operators branch on these, so a renumbering is a breaking
 //! change. 0 = ok, 1 = generic error, 2 = unreadable / invalid trace
 //! JSON, 3 = trace with no complete request timeline, 4 = trace
-//! missing the drop counter, 8 = `--slo-fail` with a fired SLO.
+//! missing the drop counter, 7 = `bench` capacity/scaling gate,
+//! 8 = `--slo-fail` with a fired SLO, 9 = invalid `--threads` /
+//! `--shards` value.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -61,6 +63,48 @@ fn trace_check_exit_codes_are_distinct_per_failure_class() {
     // 1: generic CLI error (missing required flag).
     let out = xar(&["trace", "--check"]);
     assert_eq!(code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn invalid_threads_or_shards_exit_9_with_a_clear_message() {
+    // Concurrency flags are validated before the region file is even
+    // opened, so none of these need a fixture. Each failure names the
+    // offending flag and the accepted range.
+    for args in [
+        ["simulate", "--threads", "0"],
+        ["simulate", "--threads", "abc"],
+        ["simulate", "--threads", "-4"],
+        ["simulate", "--shards", "0"],
+        ["simulate", "--shards", "999"],
+        ["bench", "--threads", "1,nope"],
+        ["bench", "--shards", "zero"],
+    ] {
+        let out = xar(&args);
+        assert_eq!(code(&out), 9, "{args:?} -> {out:?}");
+        let msg = String::from_utf8_lossy(&out.stderr);
+        assert!(msg.contains(args[1].trim_start_matches('-')), "{args:?}: {msg}");
+    }
+
+    // A valid value on the same flags does not trip the validator:
+    // `bench` with one tiny point exits 0.
+    let out = xar(&[
+        "bench", "--rows", "10", "--cols", "10", "--trips", "60", "--threads", "2",
+        "--shards", "2",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn bench_scaling_gate_failure_exits_7() {
+    // An unmeetable --min-scaling (1000x from 1 to 2 threads) must trip
+    // the gate; the capacity audit and the curve still print first.
+    let out = xar(&[
+        "bench", "--rows", "10", "--cols", "10", "--trips", "60", "--threads", "1,2",
+        "--min-scaling", "1000",
+    ]);
+    assert_eq!(code(&out), 7, "{out:?}");
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("below the 1000x gate"), "{msg}");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Engine scaling curve — `results/BENCH_engine.json`.
 //!
-//! Replays the same trip day through a fresh [`ShardedXarEngine`] at
+//! Replays the same trip day through a fresh
+//! [`xar_core::ShardedXarEngine`] at
 //! 1, 2, 4, and 8 worker threads and records throughput plus search
 //! latency percentiles per point (DESIGN.md §5e). This is the
 //! machine-readable counterpart of `xar bench`: CI diffs the curve

@@ -108,11 +108,17 @@ impl XarEngine {
             let replacement = leg1.concat(&leg2).concat(&leg3);
             new_route = ride.route.splice(s1.route_idx, s2.route_idx, &replacement);
             let delta = new_route.len() as isize - ride.route.len() as isize;
+            // Shift by list position, not by route-index comparison:
+            // consecutive via-points may share a route_idx (a booking
+            // whose pick-up landed exactly on a via node leaves a
+            // zero-length segment), and comparing indices would drag
+            // the splice's start point along with its end.
             vps = ride
                 .via_points
                 .iter()
-                .map(|v| {
-                    if v.route_idx >= s2.route_idx {
+                .enumerate()
+                .map(|(pos, v)| {
+                    if pos > pickup_seg {
                         ViaPoint { route_idx: (v.route_idx as isize + delta) as usize, node: v.node }
                     } else {
                         *v
@@ -130,17 +136,22 @@ impl XarEngine {
             let leg2 = path_route(pickup_node, s2.node)?;
             pickup_idx = s1.route_idx + leg1.len() - 1;
             let after_pickup = ride.route.splice(s1.route_idx, s2.route_idx, &leg1.concat(&leg2));
-            // The pick-up splice shifted every old index >= s2's.
+            // The pick-up splice shifted the via-points *behind* s2 in
+            // the list. Shift by list position, not by route-index
+            // comparison: consecutive via-points may share a route_idx
+            // (zero-length segments left by earlier bookings), and
+            // comparing indices would drag a splice's start point along
+            // with its end.
             let shift1 = after_pickup.len() as isize - ride.route.len() as isize;
-            let at1 = |old: usize| -> usize {
-                if old >= s2.route_idx {
+            let at1 = |pos: usize, old: usize| -> usize {
+                if pos > pickup_seg {
                     (old as isize + shift1) as usize
                 } else {
                     old
                 }
             };
-            let d1_idx = at1(ride.via_points[dropoff_seg].route_idx);
-            let d2_idx = at1(ride.via_points[dropoff_seg + 1].route_idx);
+            let d1_idx = at1(dropoff_seg, ride.via_points[dropoff_seg].route_idx);
+            let d2_idx = at1(dropoff_seg + 1, ride.via_points[dropoff_seg + 1].route_idx);
             let d1_node = after_pickup.nodes()[d1_idx];
             let d2_node = after_pickup.nodes()[d2_idx];
             let leg3 = path_route(d1_node, dropoff_node)?;
@@ -148,8 +159,8 @@ impl XarEngine {
             dropoff_idx = d1_idx + leg3.len() - 1;
             new_route = after_pickup.splice(d1_idx, d2_idx, &leg3.concat(&leg4));
             let shift2 = new_route.len() as isize - after_pickup.len() as isize;
-            let at2 = |idx1: usize| -> usize {
-                if idx1 >= d2_idx {
+            let at2 = |pos: usize, idx1: usize| -> usize {
+                if pos > dropoff_seg {
                     (idx1 as isize + shift2) as usize
                 } else {
                     idx1
@@ -158,7 +169,11 @@ impl XarEngine {
             vps = ride
                 .via_points
                 .iter()
-                .map(|v| ViaPoint { route_idx: at2(at1(v.route_idx)), node: v.node })
+                .enumerate()
+                .map(|(pos, v)| ViaPoint {
+                    route_idx: at2(pos, at1(pos, v.route_idx)),
+                    node: v.node,
+                })
                 .collect();
             vps.insert(pickup_seg + 1, ViaPoint { route_idx: pickup_idx, node: pickup_node });
             vps.insert(dropoff_seg + 2, ViaPoint { route_idx: dropoff_idx, node: dropoff_node });
@@ -197,6 +212,7 @@ impl XarEngine {
             let from = ride.progress_idx;
             XarEngine::index_ride(&region, &config, ride, index, from);
         });
+        self.bump_state_version();
         self.stats.bookings.inc();
         // Per-cluster labeled series (successful bookings only): the
         // pick-up cluster folded into a fixed bucket keeps cardinality

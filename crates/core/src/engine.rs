@@ -155,6 +155,11 @@ pub struct XarEngine {
     index: ClusterIndex,
     next_id: u64,
     id_stride: u64,
+    /// Monotone counter bumped by every mutation that changes what a
+    /// search can observe (create, book, retire, index refresh). The
+    /// sharded engine compares it against the version of the last
+    /// published [`crate::ShardSnapshot`] to skip no-op republishes.
+    state_version: u64,
     pub(crate) stats: EngineStats,
     pub(crate) metrics: EngineMetrics,
 }
@@ -177,9 +182,25 @@ impl XarEngine {
             index,
             next_id: 1,
             id_stride: 1,
+            state_version: 0,
             stats,
             metrics,
         }
+    }
+
+    /// Monotone version of the searchable state: incremented by every
+    /// successful create/book and by every track that retires a ride or
+    /// rewrites index entries. Unchanged version ⇒ a search snapshot
+    /// taken earlier is still exact.
+    #[inline]
+    pub fn state_version(&self) -> u64 {
+        self.state_version
+    }
+
+    /// Record a searchable-state mutation (see [`XarEngine::state_version`]).
+    #[inline]
+    pub(crate) fn bump_state_version(&mut self) {
+        self.state_version += 1;
     }
 
     /// Restrict this engine to the id arithmetic progression
@@ -343,6 +364,7 @@ impl XarEngine {
         };
         Self::index_ride(&self.region, &self.config, &mut ride, &mut self.index, 0);
         self.rides.insert(id, ride);
+        self.bump_state_version();
         self.stats.creates.inc();
         // Occupancy gauge: the ride lives in its source's cluster
         // bucket until retired (the source via-point never moves, so

@@ -64,6 +64,7 @@ pub mod request;
 pub mod ride;
 pub mod search;
 pub mod sharded;
+pub mod snapshot;
 pub mod social;
 pub mod tracking;
 
@@ -77,4 +78,5 @@ pub use request::RideRequest;
 pub use ride::{Ride, RideId, RideOffer, RideStatus, RiderId};
 pub use search::RideMatch;
 pub use sharded::{ShardOccupancy, ShardedXarEngine, DEFAULT_SHARDS, MAX_SHARDS};
+pub use snapshot::{SearchScratch, ShardSnapshot, SnapshotCell};
 pub use social::SocialGraph;

@@ -16,8 +16,12 @@
 //! | `engine.track_ns` | histogram | ns per tracking advance |
 //! | `engine.search_candidates` | histogram | rides in the R1 candidate set per search |
 //! | `engine.sp_ns` | histogram | ns per shortest-path computation (create/book only) |
-//! | `lock.read_hold_ns` | histogram | read-lock hold time (`SharedXarEngine`) |
-//! | `lock.write_hold_ns` | histogram | write-lock hold time (`SharedXarEngine`) |
+//! | `lock.read_hold_ns` | histogram | shard read-lock hold time (track probes and maintenance — search is lock-free) |
+//! | `lock.write_hold_ns` | histogram | shard write-lock hold time (create/book/track) |
+//! | `engine.snapshot_publish_ns` | histogram | ns to build + publish one shard search snapshot |
+//! | `engine.snapshot_publishes` | counter | shard snapshots published |
+//! | `engine.snapshot_retired_freed` | counter | retired snapshots reclaimed (epoch passed) |
+//! | `engine.snapshot_backlog` | gauge | retired snapshots still pinned by readers |
 //! | `engine.searches` / `creates` / `bookings` / `tracks` | counter | operation counts ([`crate::engine::EngineStats`]) |
 //! | `engine.shortest_paths` | counter | shortest-path computations (create/book — never search) |
 //!
@@ -78,6 +82,17 @@ pub struct EngineMetrics {
     /// `engine.cluster_rides{cluster=…}` — live-ride occupancy per
     /// source cluster bucket.
     pub cluster_rides: [Arc<Gauge>; CLUSTER_BUCKETS],
+    /// Time to build and publish one shard search snapshot, nanoseconds
+    /// (write-path cost of the lock-free read path).
+    pub snapshot_publish_ns: Arc<Histogram>,
+    /// Shard snapshots published.
+    pub snapshot_publishes: Arc<Counter>,
+    /// Retired snapshots reclaimed after their epoch passed.
+    pub snapshot_retired_freed: Arc<Counter>,
+    /// Retired snapshots not yet reclaimable because a reader pinned an
+    /// older epoch. Persistently non-zero means a reader is stuck
+    /// pinned.
+    pub snapshot_backlog: Arc<Gauge>,
 }
 
 impl EngineMetrics {
@@ -103,6 +118,10 @@ impl EngineMetrics {
             .map(|b| registry.counter_with("engine.bookings", &[("cluster", b)]));
         let cluster_rides = CLUSTER_BUCKET_NAMES
             .map(|b| registry.gauge_with("engine.cluster_rides", &[("cluster", b)]));
+        let snapshot_publish_ns = registry.histogram("engine.snapshot_publish_ns");
+        let snapshot_publishes = registry.counter("engine.snapshot_publishes");
+        let snapshot_retired_freed = registry.counter("engine.snapshot_retired_freed");
+        let snapshot_backlog = registry.gauge("engine.snapshot_backlog");
         Self {
             registry,
             search_ns,
@@ -115,6 +134,10 @@ impl EngineMetrics {
             book_ns_cluster,
             bookings_cluster,
             cluster_rides,
+            snapshot_publish_ns,
+            snapshot_publishes,
+            snapshot_retired_freed,
+            snapshot_backlog,
         }
     }
 

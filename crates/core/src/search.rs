@@ -120,9 +120,13 @@ impl XarEngine {
 }
 
 /// "the ride that incurs least walking for the requester is matched"
-/// (§X.A.2): least walking first, deterministic ties.
+/// (§X.A.2): least walking first, deterministic ties. Each ride yields
+/// at most one match, so the ride-id tiebreak makes the comparator a
+/// total order and `sort_unstable` (no temp allocation — the search
+/// path must stay allocation-free) produces the same permutation a
+/// stable sort would.
 pub(crate) fn sort_matches(out: &mut [RideMatch]) {
-    out.sort_by(|a, b| {
+    out.sort_unstable_by(|a, b| {
         a.walk_total_m()
             .total_cmp(&b.walk_total_m())
             .then(a.detour_est_m.total_cmp(&b.detour_est_m))

@@ -17,12 +17,17 @@
 //!   landmark and cluster-distance tables) is shared behind a plain
 //!   `Arc` with no lock at all — searches resolve their walkable
 //!   clusters before touching any shard.
-//! * **Search** derives its candidate cluster fan-out up front (the
-//!   tier-1/2/3 region tables need no lock), consults the lock-free
-//!   [`ShardOccupancy`] bitmask to find which shards actually hold
-//!   entries for those clusters, and read-locks only those shards — in
-//!   canonical (ascending) order, one at a time, so there is no lock
-//!   nesting and no deadlock by construction. Because a ride's entries
+//! * **Search takes no locks at all.** Each write path, while still
+//!   holding its shard's write lock, freezes the shard's searchable
+//!   state into an immutable [`ShardSnapshot`] and publishes it with an
+//!   atomic pointer swap into the shard's [`SnapshotCell`]. Search
+//!   derives its candidate cluster fan-out up front (the tier-1/2/3
+//!   region tables need no lock), consults the lock-free
+//!   [`ShardOccupancy`] bitmask to find which shards could hold
+//!   candidates, pins the reclamation epoch once, and loads each such
+//!   shard's current snapshot pointer — readers never block writers and
+//!   writers never block readers (DESIGN.md §5f has the full protocol
+//!   and the memory-reclamation argument). Because a ride's entries
 //!   never span shards, per-shard candidate collection followed by one
 //!   global sort is *equivalent* to the single-engine search: every
 //!   candidate cluster is still examined, so the paper's approximation
@@ -36,7 +41,9 @@
 //! (PR-1 names, preserved) and into a per-shard labeled series
 //! `lock.read_hold_ns{shard="sK"}` / `lock.write_hold_ns{shard="sK"}`
 //! (PR-3 label machinery), so shard imbalance is visible in `/metrics`
-//! and `xar top` without a profiler.
+//! and `xar top` without a profiler. Since search stopped taking read
+//! locks, `lock.read_hold_ns` records only maintenance reads (the
+//! `track_all` emptiness probes, audits, memory accounting).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -51,7 +58,8 @@ use crate::error::XarError;
 use crate::metrics::EngineMetrics;
 use crate::request::RideRequest;
 use crate::ride::{Ride, RideId, RideOffer, RideStatus};
-use crate::search::{collect_matches, sort_matches, RideMatch};
+use crate::search::{sort_matches, RideMatch};
+use crate::snapshot::{self, ShardSnapshot, SnapshotCell};
 
 /// Hard cap on the shard count: the occupancy bitmask is one `u64` per
 /// cluster, and the per-shard label cardinality must stay far below the
@@ -64,7 +72,7 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// Lock-free map from cluster to the set of shards holding at least one
 /// potential-rides entry for it: one atomic `u64` bitmask per cluster.
 ///
-/// Bit `s` of `masks[c]` is set iff shard `s`'s [`ClusterIndex`]
+/// Bit `s` of `masks[c]` is set iff shard `s`'s [`ClusterIndex`](crate::index::ClusterIndex)
 /// (see `crate::index`) currently has a non-empty list for cluster `c`.
 /// Each bit is only ever flipped by its own shard's writer *while
 /// holding that shard's write lock*, so transitions are exact; readers
@@ -104,10 +112,18 @@ impl ShardOccupancy {
     }
 }
 
-/// One shard: a complete engine over its slice of the rides, plus the
-/// pre-resolved labeled lock-hold histograms.
+/// One shard: a complete engine over its slice of the rides, the
+/// lock-free search snapshot of that slice, plus the pre-resolved
+/// labeled lock-hold histograms.
 struct Shard {
     lock: RwLock<XarEngine>,
+    /// The published, immutable view search reads (no lock). Republished
+    /// by every write path while it still holds `lock` in write mode.
+    snapshot: SnapshotCell,
+    /// `XarEngine::state_version` as of the last publish — lets write
+    /// paths that did not change searchable state (failed creates,
+    /// no-progress tracks) skip the rebuild.
+    published_version: AtomicU64,
     read_hold_ns: Arc<Histogram>,
     write_hold_ns: Arc<Histogram>,
 }
@@ -252,8 +268,15 @@ impl ShardedXarEngine {
 
     fn make_shard(engine: XarEngine, i: usize, registry: &Arc<Registry>) -> Shard {
         let label = format!("s{i}");
+        // Seed the snapshot from the engine as handed over — the
+        // single-shard facade wraps already-populated engines, whose
+        // rides must be searchable before the first write republishes.
+        let snapshot = SnapshotCell::new(ShardSnapshot::build(&engine));
+        let published_version = AtomicU64::new(engine.state_version());
         Shard {
             lock: RwLock::new(engine),
+            snapshot,
+            published_version,
             read_hold_ns: registry.histogram_with("lock.read_hold_ns", &[("shard", &label)]),
             write_hold_ns: registry.histogram_with("lock.write_hold_ns", &[("shard", &label)]),
         }
@@ -360,12 +383,39 @@ impl ShardedXarEngine {
     }
 
     /// **Search** (operation O1) across shards: walkable-cluster
-    /// fan-out from the lock-free region tables, occupancy-pruned shard
-    /// visits (read locks, ascending order, one at a time), one global
-    /// sort. Returns up to `limit` matches, least combined walking
-    /// first — identical results to [`XarEngine::search`] over the
-    /// union of the shards (property-tested in `tests/sharded_hammer`).
+    /// fan-out from the lock-free region tables, occupancy-pruned
+    /// lock-free snapshot reads, one global sort. Returns up to `limit`
+    /// matches, least combined walking first — identical results to
+    /// [`XarEngine::search`] over the union of the shards
+    /// (property-tested in `tests/sharded_hammer` and
+    /// `tests/snapshot_linearizable`).
+    ///
+    /// Allocates only the returned `Vec`; latency-critical callers
+    /// reuse a buffer through [`ShardedXarEngine::search_into`].
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
+        let mut out = Vec::new();
+        self.search_into(req, limit, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ShardedXarEngine::search`] into a caller-owned buffer (cleared
+    /// first). With a warmed buffer this path performs **zero heap
+    /// allocations** (asserted by `tests/snapshot_alloc`): candidate
+    /// scratch lives in a thread-local, snapshots are read in place,
+    /// and the final sort is unstable (no merge buffer).
+    ///
+    /// It also takes **no locks**: each probed shard's published
+    /// [`ShardSnapshot`] is loaded with one atomic read under an epoch
+    /// pin, so concurrent writers are never waited on. The view is the
+    /// serializable point-in-time state as of each shard's latest
+    /// publish.
+    pub fn search_into(
+        &self,
+        req: &RideRequest,
+        limit: usize,
+        out: &mut Vec<RideMatch>,
+    ) -> Result<(), XarError> {
+        out.clear();
         let inner = &*self.inner;
         req.validate()?;
         inner.stats.searches.inc();
@@ -385,52 +435,93 @@ impl ShardedXarEngine {
         // A shard can only contribute a match if it holds entries for at
         // least one source-side AND one destination-side cluster (the
         // candidate set is R1 ∩ R2, and a ride's entries never leave its
-        // shard) — everything else is skipped without touching its lock.
+        // shard) — everything else is skipped without loading its
+        // snapshot.
         let mask = inner.occupancy.mask_for(src_walkable.iter().map(|w| w.cluster.index()))
             & inner.occupancy.mask_for(dst_walkable.iter().map(|w| w.cluster.index()));
 
-        let mut out = Vec::new();
         let mut candidates = 0usize;
-        for i in 0..inner.shards.len() {
-            if mask & (1u64 << i) == 0 {
-                continue;
-            }
-            let (guard, _hold) = self.read_shard(i);
-            candidates += collect_matches(&guard, src_walkable, dst_walkable, req, &mut out);
+        {
+            let guard = snapshot::pin();
+            snapshot::with_scratch(|scratch| {
+                for (i, shard) in inner.shards.iter().enumerate() {
+                    if mask & (1u64 << i) == 0 {
+                        continue;
+                    }
+                    let snap = shard.snapshot.load(&guard);
+                    candidates +=
+                        snap.collect_matches(src_walkable, dst_walkable, req, scratch, out);
+                }
+            });
         }
         inner.metrics.search_candidates.record(candidates as u64);
         tspan.attr("candidates", candidates);
         tspan.attr("shards", u64::from(mask.count_ones()));
 
-        sort_matches(&mut out);
+        sort_matches(out);
         out.truncate(limit);
         tspan.attr("matches", out.len());
         tier_hist.record(t0.elapsed().as_nanos() as u64);
-        Ok(out)
+        Ok(())
+    }
+
+    /// Rebuild and publish shard `i`'s search snapshot if its engine's
+    /// searchable state changed. Called by every write path while it
+    /// still holds the shard write lock, so publishes serialize per
+    /// shard and each snapshot is a consistent point-in-time view.
+    fn publish_shard(&self, i: usize, engine: &XarEngine) {
+        let shard = &self.inner.shards[i];
+        let version = engine.state_version();
+        if shard.published_version.load(Ordering::Relaxed) == version {
+            return;
+        }
+        let t0 = Instant::now();
+        let outcome = shard.snapshot.publish(ShardSnapshot::build(engine));
+        shard.published_version.store(version, Ordering::Relaxed);
+        let m = &self.inner.metrics;
+        m.snapshot_publish_ns.record(t0.elapsed().as_nanos() as u64);
+        m.snapshot_publishes.inc();
+        m.snapshot_retired_freed.add(outcome.freed as u64);
+        // Each publish retires exactly one snapshot and frees `freed`;
+        // the gauge tracks the global not-yet-freed backlog.
+        m.snapshot_backlog.add(1 - outcome.freed as i64);
     }
 
     /// **Create** (operation O2): one write lock on the shard owning
-    /// the offer's pick-up cluster.
+    /// the offer's pick-up cluster; publishes the shard's refreshed
+    /// search snapshot before releasing it, so the new ride is
+    /// immediately findable by lock-free searches.
     pub fn create_ride(&self, offer: &RideOffer) -> Result<RideId, XarError> {
         let region = &self.inner.region;
         let shard = region
             .cluster_of_node(region.snap_exact(&offer.source))
             .map_or(0, |c| self.shard_of_cluster(c));
         let (mut guard, _hold) = self.write_shard(shard);
-        guard.create_ride(offer)
+        let res = guard.create_ride(offer);
+        self.publish_shard(shard, &guard);
+        res
     }
 
     /// **Book**: one write lock on the ride's owning shard (recovered
-    /// from the id — no probing).
+    /// from the id — no probing), then a snapshot republish so the
+    /// consumed seat / reduced budget are visible to searches at once.
     pub fn book(&self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
-        let (mut guard, _hold) = self.write_shard(self.shard_of_ride(m.ride));
-        guard.book(m)
+        let shard = self.shard_of_ride(m.ride);
+        let (mut guard, _hold) = self.write_shard(shard);
+        let res = guard.book(m);
+        self.publish_shard(shard, &guard);
+        res
     }
 
-    /// **Track** one ride: one write lock on its owning shard.
+    /// **Track** one ride: one write lock on its owning shard, plus a
+    /// snapshot republish when the track retired the ride or rewrote
+    /// index entries (pure progress advances skip it).
     pub fn track_ride(&self, id: RideId, now_s: f64) -> Result<RideStatus, XarError> {
-        let (mut guard, _hold) = self.write_shard(self.shard_of_ride(id));
-        guard.track_ride(id, now_s)
+        let shard = self.shard_of_ride(id);
+        let (mut guard, _hold) = self.write_shard(shard);
+        let res = guard.track_ride(id, now_s);
+        self.publish_shard(shard, &guard);
+        res
     }
 
     /// **Track** every live ride to `now_s`: a per-shard sweep that
@@ -449,6 +540,7 @@ impl ShardedXarEngine {
             }
             let (mut guard, _hold) = self.write_shard(i);
             retired += guard.track_all(now_s);
+            self.publish_shard(i, &guard);
         }
         retired
     }
@@ -482,7 +574,8 @@ impl ShardedXarEngine {
     }
 
     /// Total heap bytes: the shared region tables once, plus every
-    /// shard's private runtime state (index + rides).
+    /// shard's private runtime state (index + rides) and its published
+    /// search snapshot.
     pub fn heap_bytes(&self) -> usize {
         let runtime: usize = (0..self.inner.shards.len())
             .map(|i| {
@@ -490,7 +583,10 @@ impl ShardedXarEngine {
                 guard.heap_bytes_runtime()
             })
             .sum();
-        self.inner.region.heap_bytes() + runtime
+        let guard = snapshot::pin();
+        let snapshots: usize =
+            self.inner.shards.iter().map(|s| s.snapshot.load(&guard).heap_bytes()).sum();
+        self.inner.region.heap_bytes() + runtime + snapshots
     }
 }
 
@@ -637,6 +733,120 @@ mod tests {
         let mut engine = XarEngine::new(region, EngineConfig::default());
         let _ = engine.create_ride(&offer(&graph, 2)).unwrap();
         let _ = ShardedXarEngine::from_engine(engine, 4);
+    }
+
+    #[test]
+    fn search_takes_no_locks() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        for i in 0..30 {
+            let _ = eng.create_ride(&offer(&graph, i));
+        }
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        let reads_before = eng.registry().histogram("lock.read_hold_ns").count();
+        let mut found = 0usize;
+        for _ in 0..50 {
+            found += eng.search(&req, usize::MAX).unwrap().len();
+        }
+        assert!(found > 0, "searches must still find the rides");
+        let reads_after = eng.registry().histogram("lock.read_hold_ns").count();
+        assert_eq!(reads_before, reads_after, "search must not take read locks");
+    }
+
+    #[test]
+    fn writes_are_immediately_visible_to_search() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        // Empty engine: nothing findable.
+        assert!(matches!(eng.search(&req, usize::MAX), Ok(v) if v.is_empty())
+            || matches!(eng.search(&req, usize::MAX), Err(XarError::NotServable)));
+        for i in 0..30 {
+            let _ = eng.create_ride(&offer(&graph, i));
+        }
+        // Creates published their snapshots: matches appear with no
+        // intervening write.
+        let matches = eng.search(&req, usize::MAX).unwrap();
+        assert!(!matches.is_empty(), "created rides must be searchable immediately");
+        // Booking a single-seat ride out makes it vanish from search.
+        let single = RideOffer {
+            seats: 1,
+            ..offer(&graph, 77)
+        };
+        let id = eng.create_ride(&single).unwrap();
+        let ms = eng.search(&req, usize::MAX).unwrap();
+        if let Some(m) = ms.iter().find(|m| m.ride == id) {
+            eng.book(m).unwrap();
+            let after = eng.search(&req, usize::MAX).unwrap();
+            assert!(
+                after.iter().all(|m| m.ride != id),
+                "a booked-out ride must leave the snapshot immediately"
+            );
+        }
+        // Retiring everything drains search results.
+        eng.track_all(f64::INFINITY);
+        assert_eq!(eng.ride_count(), 0);
+        let drained = eng.search(&req, usize::MAX).unwrap();
+        assert!(drained.is_empty(), "retired rides must leave the snapshot");
+    }
+
+    #[test]
+    fn snapshot_publishes_are_metered_and_gated_on_version() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        let _ = eng.create_ride(&offer(&graph, 1)).unwrap();
+        let m = eng.metrics();
+        let after_create = m.snapshot_publishes.get();
+        assert!(after_create >= 1, "create must publish a snapshot");
+        assert!(m.snapshot_publish_ns.count() >= 1);
+        // A sweep that advances nothing (before departure) must not
+        // republish: the state version is unchanged.
+        eng.track_all(0.0);
+        assert_eq!(m.snapshot_publishes.get(), after_create, "no-op track must skip publish");
+    }
+
+    #[test]
+    fn search_into_reuses_the_buffer() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 2);
+        for i in 0..20 {
+            let _ = eng.create_ride(&offer(&graph, i));
+        }
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        let mut out = Vec::new();
+        eng.search_into(&req, usize::MAX, &mut out).unwrap();
+        let first: Vec<_> = out.clone();
+        assert!(!first.is_empty(), "workload must produce matches");
+        // Stale contents are cleared, results are identical run to run.
+        out.push(first[0]);
+        eng.search_into(&req, usize::MAX, &mut out).unwrap();
+        assert_eq!(out, first);
+        assert_eq!(eng.search(&req, usize::MAX).unwrap(), first);
     }
 
     #[test]

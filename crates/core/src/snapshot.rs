@@ -1,0 +1,698 @@
+//! Lock-free published snapshots of a shard's searchable state.
+//!
+//! The sharded engine's searches used to take each shard's `RwLock` in
+//! read mode, which serializes readers against writers (and, under the
+//! std `RwLock`, against each other's cache-line traffic): the engine
+//! scaling bench showed search p99 exploding ~186× from 1 to 8 threads.
+//! This module removes the read-side lock entirely:
+//!
+//! * Writers (create / book / track) — already serialized per shard by
+//!   the shard write lock — build an immutable [`ShardSnapshot`] of the
+//!   shard's cluster index and ride feasibility state and *publish* it
+//!   with a single atomic pointer swap into a [`SnapshotCell`].
+//! * Readers [`pin`] the global epoch [`ReadGuard`], load the snapshot
+//!   pointer once per shard, and search a frozen, point-in-time view.
+//!   No lock, no retry loop, no writer can block them.
+//! * Retired snapshots are reclaimed with a hand-rolled epoch scheme
+//!   (crates.io is unreachable, so no `crossbeam-epoch`/`arc-swap`):
+//!   each reader announces the global epoch in a cache-padded slot
+//!   while pinned; a writer tags the snapshot it unlinked with the
+//!   post-publication epoch and frees it only once every announced
+//!   epoch has passed that tag.
+//!
+//! # Why no reader can observe a freed snapshot
+//!
+//! All epoch/slot/pointer operations use `SeqCst`, so they embed in a
+//! single total order `S`. Label the reader's pin sequence
+//! `R1: load epoch → e`, `R2: store slot ← e`, `R3: load ptr`, and the
+//! writer's publish sequence `W1: ptr.swap(new)`,
+//! `W2: tag = epoch.fetch_add(1) + 1`, `W3: scan slots`. The writer
+//! frees a retired snapshot (tag `T`) only when the scan observes every
+//! slot as unclaimed/idle or announcing an epoch `≥ T`. Three cases for
+//! a reader that is still running at scan time:
+//!
+//! 1. **Scan saw the slot idle/unclaimed** — the reader's `R2` came
+//!    after `W3` in `S`, hence after `W1`; its `R3` follows and loads
+//!    the *new* pointer. It never held the retired one.
+//! 2. **Scan saw an announcement `≥ T`** — `R1` read an epoch `≥ T`,
+//!    which `W2` (or a later advance) produced, so `R1` is after `W2`
+//!    in `S`, hence `R3` is after `W1`: again the new pointer.
+//! 3. **Scan saw an announcement `< T`** — the reader may hold the
+//!    retired snapshot; the writer defers the free (the snapshot stays
+//!    on the retired list until a later publish re-scans).
+//!
+//! The unpin store (slot ← idle) is also `SeqCst`, so every read the
+//! guard performed is ordered before any writer scan that observes the
+//! slot idle — the free cannot race ahead of in-flight loads. Finally,
+//! [`SnapshotCell::load`] borrows the cell (`&'a self`), so dropping a
+//! cell (which frees the current and all retired snapshots eagerly) is
+//! only possible once no reference derived from it exists — enforced at
+//! compile time, no epoch argument needed.
+//!
+//! Snapshots use a struct-of-arrays (CSR) layout — per-cluster entry
+//! ranges over parallel `eta`/`ride`/`detour` columns — so the ETA
+//! range query of search Step 1 is two `partition_point` calls on a
+//! contiguous `f64` column instead of a `BTreeMap` walk, and the whole
+//! search runs without allocating (candidate buffers live in a
+//! thread-local [`SearchScratch`]).
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use xar_discretize::{ClusterId, WalkEntry};
+
+use crate::engine::XarEngine;
+use crate::request::RideRequest;
+use crate::ride::RideId;
+use crate::search::RideMatch;
+
+/// Slot value: unclaimed, available for any thread to take.
+const SLOT_FREE: u64 = u64::MAX;
+/// Slot value: owned by a thread that is not currently pinned.
+const SLOT_IDLE: u64 = u64::MAX - 1;
+/// Number of reader slots. Readers beyond this many *concurrent
+/// threads* spin-wait for a slot; threads release their slot on exit.
+const SLOT_COUNT: usize = 64;
+
+/// One reader-announcement slot, padded to its own cache line pair so
+/// concurrent readers on different cores never false-share.
+#[repr(align(128))]
+struct Slot(AtomicU64);
+
+/// The process-wide epoch domain: the global epoch counter and the
+/// reader announcement slots. Shared by every [`SnapshotCell`] — the
+/// reclamation condition is conservative across cells, which costs at
+/// most a briefly longer retired list, never a use-after-free.
+struct EpochDomain {
+    epoch: AtomicU64,
+    slots: [Slot; SLOT_COUNT],
+}
+
+static DOMAIN: EpochDomain = EpochDomain {
+    // Start at 1 so a tag of 0 can never be confused with "no tag".
+    epoch: AtomicU64::new(1),
+    slots: [const { Slot(AtomicU64::new(SLOT_FREE)) }; SLOT_COUNT],
+};
+
+impl EpochDomain {
+    /// The smallest epoch announced by any pinned reader, or `u64::MAX`
+    /// when no reader is pinned. A retired snapshot tagged `T` is free
+    /// to drop once `min_active() >= T`.
+    fn min_active(&self) -> u64 {
+        let mut min = u64::MAX;
+        for s in &self.slots {
+            let v = s.0.load(SeqCst);
+            if v < SLOT_IDLE && v < min {
+                min = v;
+            }
+        }
+        min
+    }
+}
+
+/// A thread's claim on one announcement slot, released (set back to
+/// [`SLOT_FREE`]) when the thread exits.
+struct ThreadSlot {
+    idx: usize,
+    /// Pin nesting depth: only the outermost [`pin`] announces, only
+    /// the outermost drop goes back to idle.
+    depth: Cell<u32>,
+}
+
+impl ThreadSlot {
+    fn claim() -> Self {
+        loop {
+            for (idx, s) in DOMAIN.slots.iter().enumerate() {
+                if s.0.compare_exchange(SLOT_FREE, SLOT_IDLE, SeqCst, SeqCst).is_ok() {
+                    return Self { idx, depth: Cell::new(0) };
+                }
+            }
+            // More than SLOT_COUNT live reader threads: wait for one to
+            // exit. The engine's thread pools are far below this bound.
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        DOMAIN.slots[self.idx].0.store(SLOT_FREE, SeqCst);
+    }
+}
+
+thread_local! {
+    static THREAD_SLOT: ThreadSlot = ThreadSlot::claim();
+}
+
+/// Proof that the current thread has announced itself to the epoch
+/// domain: [`SnapshotCell::load`] requires one, and the reference it
+/// returns cannot outlive it. Not `Send` — the announcement is bound
+/// to this thread's slot.
+///
+/// ```
+/// use xar_core::{snapshot, ShardSnapshot, SnapshotCell};
+/// let cell = SnapshotCell::new(ShardSnapshot::empty(4));
+/// let guard = snapshot::pin();
+/// let snap = cell.load(&guard);
+/// assert_eq!(snap.ride_count(), 0);
+/// ```
+pub struct ReadGuard {
+    slot: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Announce this thread as an active reader and return the guard that
+/// keeps the announcement alive. Cheap (two `SeqCst` atomics on the
+/// outermost pin, a counter bump when nested) and allocation-free after
+/// the thread's first call.
+pub fn pin() -> ReadGuard {
+    let slot = THREAD_SLOT.with(|s| {
+        let depth = s.depth.get();
+        if depth == 0 {
+            let e = DOMAIN.epoch.load(SeqCst);
+            DOMAIN.slots[s.idx].0.store(e, SeqCst);
+        }
+        s.depth.set(depth + 1);
+        s.idx
+    });
+    ReadGuard { slot, _not_send: PhantomData }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        // `try_with`: thread-local teardown order is unspecified; if the
+        // slot is already gone the thread is exiting and the slot's own
+        // Drop has (or will have) freed it.
+        let slot = self.slot;
+        let _ = THREAD_SLOT.try_with(|s| {
+            debug_assert_eq!(s.idx, slot);
+            let depth = s.depth.get() - 1;
+            s.depth.set(depth);
+            if depth == 0 {
+                DOMAIN.slots[s.idx].0.store(SLOT_IDLE, SeqCst);
+            }
+        });
+    }
+}
+
+/// What one [`SnapshotCell::publish`] did, for the observability layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishOutcome {
+    /// Retired snapshots actually freed by this publish (the previous
+    /// current snapshot is always *retired*; it is *freed* only once no
+    /// reader can hold it).
+    pub freed: usize,
+    /// Retired snapshots still waiting for readers to move past them.
+    pub backlog: usize,
+}
+
+/// An atomically publishable snapshot pointer with epoch-based
+/// reclamation of retired snapshots.
+///
+/// Writers call [`SnapshotCell::publish`] (serialized externally — in
+/// the engine, by the shard write lock — though concurrent publishes
+/// are memory-safe too); readers call [`SnapshotCell::load`] under a
+/// [`pin`] guard and never block.
+pub struct SnapshotCell {
+    ptr: AtomicPtr<ShardSnapshot>,
+    /// Unlinked-but-possibly-still-read snapshots, each tagged with the
+    /// epoch after whose passing it is unreachable.
+    retired: Mutex<Vec<(u64, *mut ShardSnapshot)>>,
+}
+
+// Raw pointers make these !Send/!Sync by default; the cell owns the
+// snapshots exclusively (readers only borrow under the epoch protocol).
+unsafe impl Send for SnapshotCell {}
+unsafe impl Sync for SnapshotCell {}
+
+impl SnapshotCell {
+    /// Create a cell currently publishing `snapshot`.
+    pub fn new(snapshot: ShardSnapshot) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(snapshot))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The currently published snapshot. Requires a [`pin`] guard; the
+    /// returned reference lives no longer than the guard *or* the cell,
+    /// which is exactly what makes reclamation sound (see the module
+    /// docs).
+    #[inline]
+    pub fn load<'a>(&'a self, _guard: &'a ReadGuard) -> &'a ShardSnapshot {
+        // Safety: the pointer is always a live Box::into_raw product;
+        // publish() never frees a snapshot while any pinned reader may
+        // still hold it (module-level argument), and Drop requires
+        // exclusive access to the cell.
+        unsafe { &*self.ptr.load(SeqCst) }
+    }
+
+    /// Atomically replace the published snapshot, retire the previous
+    /// one, and opportunistically free retired snapshots no reader can
+    /// still observe.
+    pub fn publish(&self, snapshot: ShardSnapshot) -> PublishOutcome {
+        let new = Box::into_raw(Box::new(snapshot));
+        let old = self.ptr.swap(new, SeqCst);
+        // Tag with the *post*-advance epoch: any reader announcing an
+        // epoch >= tag pinned after the swap and thus sees `new`.
+        let tag = DOMAIN.epoch.fetch_add(1, SeqCst) + 1;
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.push((tag, old));
+        let before = retired.len();
+        let min_active = DOMAIN.min_active();
+        retired.retain(|&(t, p)| {
+            if t <= min_active {
+                // Safety: every pinned reader announced an epoch >= t,
+                // so (case 2 of the module argument) it loaded the
+                // successor pointer; unpinned readers' accesses are
+                // ordered before our SeqCst scan.
+                drop(unsafe { Box::from_raw(p) });
+                false
+            } else {
+                true
+            }
+        });
+        PublishOutcome { freed: before - retired.len(), backlog: retired.len() }
+    }
+}
+
+impl Drop for SnapshotCell {
+    fn drop(&mut self) {
+        // `&mut self`: no outstanding `load` borrows can exist, so the
+        // current and all retired snapshots are unreachable.
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+        let retired = self.retired.get_mut().unwrap_or_else(|e| e.into_inner());
+        for &(_, p) in retired.iter() {
+            drop(unsafe { Box::from_raw(p) });
+        }
+        retired.clear();
+    }
+}
+
+/// One side-candidate in scratch space: a walkable cluster paired with
+/// one potential-ride entry found there (the snapshot-native mirror of
+/// the search module's `SideHit`).
+#[derive(Debug, Clone, Copy)]
+struct SnapHit {
+    cluster: ClusterId,
+    landmark: xar_discretize::LandmarkId,
+    walk_m: f64,
+    eta_s: f64,
+    detour_m: f64,
+    seg: u32,
+    pass_route_idx: u32,
+}
+
+/// Reusable per-thread candidate buffers for snapshot search: grown on
+/// the first few searches, then allocation-free forever after. Obtain
+/// one with [`with_scratch`] (thread-local) or own one per worker.
+#[derive(Default)]
+pub struct SearchScratch {
+    /// Source-side hits, tagged with discovery order: `(ride, seq, hit)`.
+    r1: Vec<(RideId, u32, SnapHit)>,
+    /// Destination-side hits, same shape.
+    r2: Vec<(RideId, u32, SnapHit)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::default());
+}
+
+/// Run `f` with this thread's [`SearchScratch`].
+///
+/// # Panics
+///
+/// Panics if called re-entrantly from within `f` (the engine never
+/// does: one search runs at a time per thread).
+pub fn with_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// An immutable, point-in-time copy of everything search reads from one
+/// shard: the per-cluster potential-rides lists in a struct-of-arrays
+/// CSR layout, plus the per-ride feasibility columns (free seats,
+/// remaining detour budget).
+///
+/// Entries within a cluster are sorted by `(eta, ride)` — the same
+/// order the live `BTreeMap` index iterates in — so snapshot search
+/// visits candidates in exactly the serial engine's order and returns
+/// bit-identical matches.
+pub struct ShardSnapshot {
+    /// CSR row offsets: cluster `c`'s entries occupy columns
+    /// `offsets[c] .. offsets[c + 1]`.
+    offsets: Vec<u32>,
+    // Parallel entry columns (SoA): the ETA column is scanned by every
+    // range query, so it stays dense and contiguous; the rest are only
+    // touched for rows inside the range.
+    eta_s: Vec<f64>,
+    ride: Vec<RideId>,
+    detour_m: Vec<f64>,
+    seg: Vec<u32>,
+    pass_route_idx: Vec<u32>,
+    /// Ride feasibility table, sorted by ride id for binary search.
+    ride_ids: Vec<RideId>,
+    seats: Vec<u8>,
+    budget_m: Vec<f64>,
+}
+
+impl ShardSnapshot {
+    /// A snapshot with `cluster_count` clusters and no rides (the state
+    /// of a freshly created shard).
+    pub fn empty(cluster_count: usize) -> Self {
+        Self {
+            offsets: vec![0; cluster_count + 1],
+            eta_s: Vec::new(),
+            ride: Vec::new(),
+            detour_m: Vec::new(),
+            seg: Vec::new(),
+            pass_route_idx: Vec::new(),
+            ride_ids: Vec::new(),
+            seats: Vec::new(),
+            budget_m: Vec::new(),
+        }
+    }
+
+    /// Freeze `engine`'s searchable state. Called by shard writers
+    /// while holding the shard write lock, so the copy is consistent.
+    pub fn build(engine: &XarEngine) -> Self {
+        let index = engine.index();
+        let clusters = index.cluster_count();
+        let entries = index.len();
+        let mut snap = Self {
+            offsets: Vec::with_capacity(clusters + 1),
+            eta_s: Vec::with_capacity(entries),
+            ride: Vec::with_capacity(entries),
+            detour_m: Vec::with_capacity(entries),
+            seg: Vec::with_capacity(entries),
+            pass_route_idx: Vec::with_capacity(entries),
+            ride_ids: Vec::with_capacity(engine.ride_count()),
+            seats: Vec::with_capacity(engine.ride_count()),
+            budget_m: Vec::with_capacity(engine.ride_count()),
+        };
+        snap.offsets.push(0);
+        for c in 0..clusters as u32 {
+            for e in index.entries_of(ClusterId(c)) {
+                snap.eta_s.push(e.eta_s);
+                snap.ride.push(e.ride);
+                snap.detour_m.push(e.detour_m);
+                snap.seg.push(e.seg as u32);
+                snap.pass_route_idx.push(e.pass_route_idx as u32);
+            }
+            snap.offsets.push(snap.eta_s.len() as u32);
+        }
+        let mut rides: Vec<_> = engine.rides().map(|r| (r.id, r.seats_available, r.detour_remaining_m())).collect();
+        rides.sort_unstable_by_key(|&(id, _, _)| id);
+        for (id, seats, budget) in rides {
+            snap.ride_ids.push(id);
+            snap.seats.push(seats);
+            snap.budget_m.push(budget);
+        }
+        snap
+    }
+
+    /// Number of `⟨ride, eta⟩` index entries in the snapshot.
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.eta_s.len()
+    }
+
+    /// Number of rides in the feasibility table.
+    #[inline]
+    pub fn ride_count(&self) -> usize {
+        self.ride_ids.len()
+    }
+
+    /// Columns of `cluster`'s entries whose ETA lies in
+    /// `[from_s, to_s]` (inclusive, like the live index's `range_eta`).
+    #[inline]
+    fn eta_range(&self, cluster: ClusterId, from_s: f64, to_s: f64) -> std::ops::Range<usize> {
+        let lo = self.offsets[cluster.index()] as usize;
+        let hi = self.offsets[cluster.index() + 1] as usize;
+        let etas = &self.eta_s[lo..hi];
+        let a = etas.partition_point(|&t| t < from_s);
+        let b = etas.partition_point(|&t| t <= to_s);
+        lo + a..lo + b
+    }
+
+    /// `(free seats, remaining detour budget)` of `ride`, if it is live
+    /// in this snapshot.
+    #[inline]
+    fn ride_state(&self, ride: RideId) -> Option<(u8, f64)> {
+        self.ride_ids.binary_search(&ride).ok().map(|i| (self.seats[i], self.budget_m[i]))
+    }
+
+    /// Approximate heap bytes held by the snapshot (index-size
+    /// accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.eta_s.capacity() * std::mem::size_of::<f64>()
+            + self.ride.capacity() * std::mem::size_of::<RideId>()
+            + self.detour_m.capacity() * std::mem::size_of::<f64>()
+            + self.seg.capacity() * std::mem::size_of::<u32>()
+            + self.pass_route_idx.capacity() * std::mem::size_of::<u32>()
+            + self.ride_ids.capacity() * std::mem::size_of::<RideId>()
+            + self.seats.capacity()
+            + self.budget_m.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// The candidate-generation and feasibility core of search against
+    /// this snapshot: the exact semantics of the live engine's
+    /// `collect_matches` (Steps 1–2 ETA range queries, `R1 ∩ R2`,
+    /// walking / detour / ordering / seat checks, least-walk best per
+    /// ride), appended to `out`. Returns `|R1|` (candidate-set size).
+    ///
+    /// Allocation-free in steady state: candidates go through
+    /// `scratch`, grouping uses `sort_unstable` + merge-join instead of
+    /// hash maps, and `out` is the caller's reusable buffer.
+    pub fn collect_matches(
+        &self,
+        src_walkable: &[WalkEntry],
+        dst_walkable: &[WalkEntry],
+        req: &RideRequest,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<RideMatch>,
+    ) -> usize {
+        scratch.r1.clear();
+        scratch.r2.clear();
+
+        // Step 1: R1 from the source side, ETA within the departure
+        // window. `seq` tags discovery order (walkable order × ETA
+        // order) so the per-ride pairing below iterates hits exactly
+        // as the serial engine's insertion-ordered Vecs do.
+        let mut seq = 0u32;
+        for w in src_walkable {
+            for i in self.eta_range(w.cluster, req.window_start_s, req.window_end_s) {
+                scratch.r1.push((
+                    self.ride[i],
+                    seq,
+                    SnapHit {
+                        cluster: w.cluster,
+                        landmark: w.landmark,
+                        walk_m: f64::from(w.walk_m),
+                        eta_s: self.eta_s[i],
+                        detour_m: self.detour_m[i],
+                        seg: self.seg[i],
+                        pass_route_idx: self.pass_route_idx[i],
+                    },
+                ));
+                seq += 1;
+            }
+        }
+        if scratch.r1.is_empty() {
+            return 0;
+        }
+        scratch.r1.sort_unstable_by_key(|&(ride, seq, _)| (ride, seq));
+
+        // Step 2: R2 from the destination side, pre-filtered to rides
+        // present in R1 (binary search over the sorted R1).
+        let mut seq = 0u32;
+        for w in dst_walkable {
+            for i in self.eta_range(w.cluster, req.window_start_s, f64::INFINITY) {
+                let ride = self.ride[i];
+                let p = scratch.r1.partition_point(|e| e.0 < ride);
+                if p == scratch.r1.len() || scratch.r1[p].0 != ride {
+                    continue;
+                }
+                scratch.r2.push((
+                    ride,
+                    seq,
+                    SnapHit {
+                        cluster: w.cluster,
+                        landmark: w.landmark,
+                        walk_m: f64::from(w.walk_m),
+                        eta_s: self.eta_s[i],
+                        detour_m: self.detour_m[i],
+                        seg: self.seg[i],
+                        pass_route_idx: self.pass_route_idx[i],
+                    },
+                ));
+                seq += 1;
+            }
+        }
+        scratch.r2.sort_unstable_by_key(|&(ride, seq, _)| (ride, seq));
+
+        // |R1| = distinct rides on the source side.
+        let mut candidates = 0usize;
+        let mut i = 0;
+        while i < scratch.r1.len() {
+            candidates += 1;
+            let ride = scratch.r1[i].0;
+            while i < scratch.r1.len() && scratch.r1[i].0 == ride {
+                i += 1;
+            }
+        }
+
+        // Intersection + final feasibility: merge-join the two sorted
+        // runs; per ride, the best (least-walk, then least-detour,
+        // first-found) feasible (source, destination) pair wins.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < scratch.r1.len() && j < scratch.r2.len() {
+            let ride = scratch.r1[i].0;
+            let mut i_end = i;
+            while i_end < scratch.r1.len() && scratch.r1[i_end].0 == ride {
+                i_end += 1;
+            }
+            while j < scratch.r2.len() && scratch.r2[j].0 < ride {
+                j += 1;
+            }
+            let mut j_end = j;
+            while j_end < scratch.r2.len() && scratch.r2[j_end].0 == ride {
+                j_end += 1;
+            }
+            if j_end > j {
+                if let Some((seats, budget)) = self.ride_state(ride) {
+                    if seats > 0 {
+                        let mut best: Option<RideMatch> = None;
+                        for &(_, _, src) in &scratch.r1[i..i_end] {
+                            for &(_, _, dst) in &scratch.r2[j..j_end] {
+                                // Pick-up strictly precedes drop-off
+                                // along the ride (see the search module
+                                // for why each clause exists).
+                                if src.cluster == dst.cluster
+                                    || dst.eta_s <= src.eta_s
+                                    || dst.seg < src.seg
+                                    || dst.pass_route_idx < src.pass_route_idx
+                                {
+                                    continue;
+                                }
+                                let walk_total = src.walk_m + dst.walk_m;
+                                if walk_total > req.walk_limit_m {
+                                    continue;
+                                }
+                                let detour_total = src.detour_m + dst.detour_m;
+                                if detour_total > budget {
+                                    continue;
+                                }
+                                let better = best.as_ref().is_none_or(|b| {
+                                    walk_total < b.walk_total_m()
+                                        || (walk_total == b.walk_total_m()
+                                            && detour_total < b.detour_est_m)
+                                });
+                                if better {
+                                    best = Some(RideMatch {
+                                        ride,
+                                        pickup_cluster: src.cluster,
+                                        pickup_landmark: src.landmark,
+                                        dropoff_cluster: dst.cluster,
+                                        dropoff_landmark: dst.landmark,
+                                        walk_pickup_m: src.walk_m,
+                                        walk_dropoff_m: dst.walk_m,
+                                        eta_pickup_s: src.eta_s,
+                                        eta_dropoff_s: dst.eta_s,
+                                        detour_est_m: detour_total,
+                                        pickup_seg: src.seg as usize,
+                                        dropoff_seg: dst.seg as usize,
+                                    });
+                                }
+                            }
+                        }
+                        if let Some(m) = best {
+                            out.push(m);
+                        }
+                    }
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_is_reentrant_and_slot_returns_to_idle() {
+        let g1 = pin();
+        let slot = g1.slot;
+        let announced = DOMAIN.slots[slot].0.load(SeqCst);
+        assert!(announced < SLOT_IDLE, "pinned slot must announce an epoch");
+        {
+            let g2 = pin();
+            assert_eq!(g2.slot, slot, "nested pin reuses the slot");
+            // Nested pin must not re-announce a newer epoch.
+            assert_eq!(DOMAIN.slots[slot].0.load(SeqCst), announced);
+        }
+        assert_eq!(DOMAIN.slots[slot].0.load(SeqCst), announced, "inner unpin keeps announcement");
+        drop(g1);
+        assert_eq!(DOMAIN.slots[slot].0.load(SeqCst), SLOT_IDLE);
+    }
+
+    #[test]
+    fn publish_defers_free_while_pinned_elsewhere() {
+        let cell = Arc::new(SnapshotCell::new(ShardSnapshot::empty(1)));
+        let hold = Arc::new(AtomicBool::new(true));
+        let release = Arc::clone(&hold);
+        let reader_cell = Arc::clone(&cell);
+        let reader = std::thread::spawn(move || {
+            let guard = pin();
+            let snap = reader_cell.load(&guard);
+            let before = snap.entry_count();
+            while release.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            // The pinned view must still be intact after publishes.
+            assert_eq!(snap.entry_count(), before);
+        });
+        // Give the reader time to pin.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let out1 = cell.publish(ShardSnapshot::empty(2));
+        assert!(out1.backlog >= 1, "old snapshot must stay retired while the reader pins");
+        hold.store(false, Ordering::SeqCst);
+        reader.join().unwrap();
+        // With the reader gone, the next publish reclaims everything.
+        let out2 = cell.publish(ShardSnapshot::empty(3));
+        assert_eq!(out2.backlog, 0, "unpinned readers must not block reclamation");
+        assert!(out2.freed >= 1);
+    }
+
+    #[test]
+    fn load_tracks_latest_publish() {
+        let cell = SnapshotCell::new(ShardSnapshot::empty(1));
+        let guard = pin();
+        assert_eq!(cell.load(&guard).offsets.len(), 2);
+        cell.publish(ShardSnapshot::empty(7));
+        assert_eq!(cell.load(&guard).offsets.len(), 8, "load always sees the newest snapshot");
+    }
+
+    #[test]
+    fn eta_range_is_inclusive_both_ends() {
+        let mut snap = ShardSnapshot::empty(1);
+        snap.eta_s = vec![50.0, 100.0, 100.0, 150.0, 200.0];
+        snap.ride = (1..=5).map(RideId).collect();
+        snap.detour_m = vec![0.0; 5];
+        snap.seg = vec![0; 5];
+        snap.pass_route_idx = vec![0; 5];
+        snap.offsets = vec![0, 5];
+        assert_eq!(snap.eta_range(ClusterId(0), 100.0, 150.0), 1..4);
+        assert_eq!(snap.eta_range(ClusterId(0), 0.0, 49.0), 0..0);
+        assert_eq!(snap.eta_range(ClusterId(0), 201.0, 300.0), 5..5);
+        assert_eq!(snap.eta_range(ClusterId(0), f64::NEG_INFINITY, f64::INFINITY), 0..5);
+    }
+}

@@ -58,9 +58,11 @@ impl XarEngine {
                 ride.status = RideStatus::Completed;
             });
             self.retire_ride(id);
+            self.bump_state_version();
             return Ok(RideStatus::Completed);
         }
 
+        let mut index_changed = false;
         self.with_index_and_ride(id, |ride, index| {
             ride.progress_idx = new_idx;
             // Step 1: crossed pass-through clusters (exit way-point
@@ -74,6 +76,7 @@ impl XarEngine {
             if crossed.is_empty() {
                 return;
             }
+            index_changed = true;
             let mut obsolete: Vec<ClusterId> = Vec::new();
             for &i in &crossed {
                 let p = &ride.pass_clusters[i];
@@ -138,6 +141,12 @@ impl XarEngine {
                 }
             }
         });
+        // progress_idx alone is invisible to search (snapshots carry
+        // index entries, seats and detour budget); only an index rewrite
+        // invalidates published snapshots.
+        if index_changed {
+            self.bump_state_version();
+        }
         Ok(RideStatus::Active)
     }
 

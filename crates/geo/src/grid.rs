@@ -158,26 +158,36 @@ impl GridSpec {
     /// `center` (radius 0 is the centre cell itself). This is the
     /// expansion order used by grid-based searches such as T-Share's.
     pub fn ring(&self, center: GridId, radius: u32) -> Vec<GridId> {
+        let mut out = Vec::with_capacity((8 * radius.max(1)) as usize);
+        self.for_ring(center, radius, |id| out.push(id));
+        out
+    }
+
+    /// Visit the cells of [`GridSpec::ring`] without allocating — hot
+    /// paths (the spatial locator's nearest-node search runs on every
+    /// engine search) use this to stay allocation-free.
+    pub fn for_ring(&self, center: GridId, radius: u32, mut visit: impl FnMut(GridId)) {
         if radius == 0 {
-            return if self.is_valid(center) { vec![center] } else { vec![] };
+            if self.is_valid(center) {
+                visit(center);
+            }
+            return;
         }
         let r = i64::from(radius);
         let (cc, cr) = (i64::from(center.col), i64::from(center.row));
-        let mut out = Vec::with_capacity((8 * radius) as usize);
-        let push = |c: i64, row: i64, out: &mut Vec<GridId>| {
+        let mut push = |c: i64, row: i64| {
             if c >= 0 && row >= 0 && (c as u32) < self.cols && (row as u32) < self.rows {
-                out.push(GridId { col: c as u32, row: row as u32 });
+                visit(GridId { col: c as u32, row: row as u32 });
             }
         };
         for dc in -r..=r {
-            push(cc + dc, cr - r, &mut out);
-            push(cc + dc, cr + r, &mut out);
+            push(cc + dc, cr - r);
+            push(cc + dc, cr + r);
         }
         for dr in (-r + 1)..r {
-            push(cc - r, cr + dr, &mut out);
-            push(cc + r, cr + dr, &mut out);
+            push(cc - r, cr + dr);
+            push(cc + r, cr + dr);
         }
-        out
     }
 
     /// Iterate over every cell of the grid, row-major from the

@@ -181,6 +181,21 @@ impl Family {
 /// A named-metric table: counters, gauges and histograms keyed by a
 /// dotted name (convention: `<subsystem>.<metric>_<unit>`, e.g.
 /// `engine.search_ns`), each optionally fanned out into labeled series.
+///
+/// Handles are `Arc`s resolved once and recorded into lock-free; the
+/// registry lock is only taken at resolution and snapshot time:
+///
+/// ```
+/// use xar_obs::Registry;
+///
+/// let reg = Registry::new();
+/// let searches = reg.counter("engine.searches");
+/// let latency = reg.histogram("engine.search_ns");
+/// searches.inc();
+/// latency.record(12_500);
+/// assert_eq!(reg.counter("engine.searches").get(), 1); // same series
+/// assert!(reg.snapshot_json().contains("\"engine.search_ns\""));
+/// ```
 #[derive(Default)]
 pub struct Registry {
     families: RwLock<BTreeMap<String, Family>>,

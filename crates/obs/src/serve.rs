@@ -5,7 +5,7 @@
 //!
 //! * `/metrics` — Prometheus text ([`crate::promtext::render`]) of
 //!   every registry series, plus `xar_rolling` gauges (rolling-window
-//!   p50/p99/rates from the [`WindowStore`](crate::window::WindowStore))
+//!   p50/p99/rates from the [`WindowStore`])
 //!   and `xar_alert_*` gauges mirroring the SLO engine.
 //! * `/snapshot` — the registry's cumulative JSON snapshot.
 //! * `/health` — `200 ok` when no alert is firing, `503` naming the

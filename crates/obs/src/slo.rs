@@ -5,7 +5,7 @@
 //! `target` of `total` events are `good`"), and the engine evaluates
 //! the *burn rate* — observed error rate divided by the error budget
 //! `1 − target` — over two rolling windows from a
-//! [`WindowStore`](crate::window::WindowStore). An alert fires only
+//! [`WindowStore`]. An alert fires only
 //! when **both** the fast and the slow window burn at or above the
 //! configured threshold: the slow window proves the problem is
 //! sustained, the fast window proves it is still happening (so alerts

@@ -58,6 +58,10 @@ impl NodeLocator {
 
     /// The graph node nearest to `p` (by great-circle distance), and the
     /// distance to it in metres.
+    ///
+    /// Allocation-free: the engine snaps both request endpoints through
+    /// here on every search, so the ring walk uses the visitor form of
+    /// the grid expansion.
     pub fn nearest(&self, graph: &RoadGraph, p: &GeoPoint) -> (NodeId, f64) {
         let center = self.grid.grid_of(p);
         let cell = self.grid.cell_m();
@@ -71,14 +75,14 @@ impl NodeLocator {
                     break;
                 }
             }
-            for cid in self.grid.ring(center, r) {
+            self.grid.for_ring(center, r, |cid| {
                 for &n in self.bucket(cid.col, cid.row) {
                     let d = graph.point(n).haversine_m(p);
                     if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((n, d));
                     }
                 }
-            }
+            });
         }
         best.expect("locator indexes at least one node")
     }

@@ -36,6 +36,7 @@
 pub mod backend;
 pub mod parallel;
 pub mod report;
+pub mod searchbench;
 pub mod sim;
 pub mod trips;
 
@@ -45,5 +46,8 @@ pub use parallel::{
     ScalingPoint, ShardedXarBackend,
 };
 pub use report::{percentile, percentile_ns, SimReport};
+pub use searchbench::{
+    populated_engine, run_search_point, search_curve_json, SearchPoint,
+};
 pub use sim::{run_simulation, RideBackend, SimConfig};
 pub use trips::{generate_trips, Trip, TripGenConfig};

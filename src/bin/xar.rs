@@ -40,6 +40,18 @@
 //!     `--json` writes the curve machine-readably (the
 //!     `results/BENCH_engine.json` schema, see EXPERIMENTS.md).
 //!
+//! xar bench --search [--rows N] [--cols N] [--seed S] [--trips N]
+//!           [--shards N] [--threads LIST] [--searches N]
+//!           [--max-p50-us F] [--max-p99-ratio F] [--json FILE]
+//!     Search-path micro-bench: populate one engine from three quarters
+//!     of the trip day, then measure the lock-free `search_into`
+//!     latency at each searcher count (constant `--searches` total per
+//!     point) while a paced background writer keeps snapshot
+//!     publication live. `--max-p50-us F` gates the first point's
+//!     median and `--max-p99-ratio F` the last point's p99 relative to
+//!     the first's (tail flatness); either breach exits with code 7.
+//!     `--json` writes the `results/BENCH_search.json` schema.
+//!
 //! xar trace --in trace.json [--top N] [--check]
 //!     Print the N slowest request timelines (per-span self-time,
 //!     lifecycle milestones) from a `--trace-out` file — or, with
@@ -80,13 +92,15 @@ use xhare_a_ride::core::{EngineConfig, ShardedXarEngine, XarEngine, DEFAULT_SHAR
 use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
 use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
 use xhare_a_ride::tshare::{TShareConfig, TShareEngine};
+use xhare_a_ride::workload::searchbench::request_of;
 use xhare_a_ride::workload::{
-    generate_trips, percentile_ns, run_parallel_simulation, run_scaling_point, run_simulation,
-    ScalingPoint, ShardedXarBackend, SimConfig, TShareBackend, TripGenConfig, XarBackend,
+    generate_trips, percentile_ns, populated_engine, run_parallel_simulation, run_scaling_point,
+    run_search_point, run_simulation, scaling_curve_json, search_curve_json, ScalingPoint,
+    SearchPoint, ShardedXarBackend, SimConfig, TShareBackend, TripGenConfig, XarBackend,
 };
 
 /// Flags that take no value (presence alone means `true`).
-const SWITCHES: &[&str] = &["check", "slo-fail", "plain"];
+const SWITCHES: &[&str] = &["check", "slo-fail", "plain", "search"];
 
 /// A command error carrying its process exit code, so callers (CI, the
 /// smoke tests) can branch on the failure class.
@@ -165,7 +179,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -519,6 +533,9 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
 /// final point's search throughput being at least `F ×` the first
 /// point's (anti-regression, exit 7).
 fn bench(flags: &Flags) -> Result<(), CmdError> {
+    if flags.switch("search") {
+        return bench_search(flags);
+    }
     let thread_counts = parse_threads_list(flags)?;
     let shards = parse_shards_flag(flags)?;
     let rows: usize = flags.get("rows", 30)?;
@@ -568,7 +585,7 @@ fn bench(flags: &Flags) -> Result<(), CmdError> {
             ("seed", seed as f64),
             ("trips", trips_n as f64),
         ];
-        std::fs::write(json, xhare_a_ride::workload::scaling_curve_json(&meta, cores, &points))
+        std::fs::write(json, scaling_curve_json(&meta, cores, &points))
             .map_err(|e| format!("cannot write {json}: {e}"))?;
         println!("curve          : {json} (cores {cores})");
     }
@@ -598,6 +615,117 @@ fn bench(flags: &Flags) -> Result<(), CmdError> {
                 format!(
                     "search throughput at {} threads is {ratio:.2}x the {}-thread run, \
                      below the {min_scaling}x gate",
+                    last.threads, first.threads
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `xar bench --search`: the search-path micro-bench. Populates one
+/// engine by replaying three quarters of the trip day, then measures
+/// lock-free `search_into` latency percentiles at each searcher count
+/// (constant total searches per point) while a paced background writer
+/// keeps snapshot publication live. Gates (exit 7): `--max-p50-us F`
+/// bounds the first point's median; `--max-p99-ratio F` bounds the last
+/// point's p99 relative to the first's (tail flatness — the lock-free
+/// read path's defining property).
+fn bench_search(flags: &Flags) -> Result<(), CmdError> {
+    let thread_counts = parse_threads_list(flags)?;
+    let shards = parse_shards_flag(flags)?;
+    let rows: usize = flags.get("rows", 30)?;
+    let cols: usize = flags.get("cols", 30)?;
+    let seed: u64 = flags.get("seed", 0xBE7C)?;
+    let trips_n: usize = flags.get("trips", 2_000)?;
+    let searches: usize = flags.get("searches", 10_000)?;
+    let max_p50_us: f64 = flags.get("max-p50-us", 0.0)?;
+    let max_p99_ratio: f64 = flags.get("max-p99-ratio", 0.0)?;
+
+    eprintln!(
+        "search bench city: {rows}x{cols} (seed {seed}), {trips_n} trips, {shards} shards, \
+         {searches} searches/point"
+    );
+    let graph = Arc::new(CityConfig::manhattan(rows, cols, seed).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: rows * cols / 2, ..Default::default() });
+    let region = Arc::new(RegionIndex::build(
+        Arc::clone(&graph),
+        &pois,
+        RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+    ));
+    let trips =
+        generate_trips(&graph, &TripGenConfig { count: trips_n, seed, ..Default::default() });
+    let cfg = SimConfig::default();
+    let engine_cfg = EngineConfig::default();
+    let split = trips.len() * 3 / 4;
+    let reqs: Vec<_> = trips.iter().map(|t| request_of(t, &cfg)).collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points: Vec<SearchPoint> = Vec::new();
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "threads", "searches", "p50 µs", "p99 µs", "matches"
+    );
+    for &t in &thread_counts {
+        // Fresh engine per point: the writer mutates state, so points
+        // must not inherit each other's churn.
+        let engine = populated_engine(&region, &engine_cfg, &trips[..split], &cfg, shards);
+        let p = run_search_point(&engine, &reqs, &trips[split..], &cfg, t, searches);
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>12.1} {:>10}",
+            p.threads,
+            p.searches,
+            p.p50_ns / 1e3,
+            p.p99_ns / 1e3,
+            p.matches,
+        );
+        points.push(p);
+    }
+
+    if let Some(json) = flags.get_opt("json") {
+        let meta = [
+            ("rows", rows as f64),
+            ("cols", cols as f64),
+            ("seed", seed as f64),
+            ("trips", trips_n as f64),
+            ("shards", shards as f64),
+        ];
+        std::fs::write(json, search_curve_json(&meta, cores, &points))
+            .map_err(|e| format!("cannot write {json}: {e}"))?;
+        println!("curve          : {json} (cores {cores})");
+    }
+
+    if max_p50_us > 0.0 {
+        let p50_us = points[0].p50_ns / 1e3;
+        println!(
+            "p50 gate       : {} thread(s) at {p50_us:.1} µs (gate {max_p50_us} µs)",
+            points[0].threads
+        );
+        if p50_us > max_p50_us {
+            return Err(CmdError::coded(
+                7,
+                format!(
+                    "search p50 at {} thread(s) is {p50_us:.1} µs, above the \
+                     {max_p50_us} µs gate",
+                    points[0].threads
+                ),
+            ));
+        }
+    }
+    if max_p99_ratio > 0.0 && points.len() >= 2 {
+        let first = &points[0];
+        let last = &points[points.len() - 1];
+        let ratio = last.p99_ns / first.p99_ns.max(1e-9);
+        println!(
+            "p99 flatness   : {} threads at {ratio:.2}x the {}-thread p99 (gate {max_p99_ratio}x)",
+            last.threads, first.threads
+        );
+        if ratio > max_p99_ratio {
+            return Err(CmdError::coded(
+                7,
+                format!(
+                    "search p99 at {} threads is {ratio:.2}x the {}-thread value, above \
+                     the {max_p99_ratio}x gate — the read path is blocking somewhere",
                     last.threads, first.threads
                 ),
             ));

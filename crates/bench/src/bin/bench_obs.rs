@@ -104,14 +104,14 @@ fn main() {
 
     // Full scrape: HTTP round trip against a served plane (localhost),
     // including rolling-window and alert rendering.
-    let plane = OpsPlane {
-        registry: Arc::clone(&live),
-        window: Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 64 })),
-        slo: Arc::new(SloEngine::new(vec![SloRule::parse(
+    let plane = OpsPlane::new(
+        Arc::clone(&live),
+        Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 64 })),
+        Arc::new(SloEngine::new(vec![SloRule::parse(
             "name=bench hist=engine.search_ns max_ms=500 target=0.99 fast=10 slow=60",
         )
         .expect("valid rule")])),
-    };
+    );
     plane.tick();
     let server = serve("127.0.0.1:0", plane.clone()).expect("bind bench server");
     let addr = server.local_addr();

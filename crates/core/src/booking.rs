@@ -218,8 +218,14 @@ impl XarEngine {
         // pick-up cluster folded into a fixed bucket keeps cardinality
         // bounded while still exposing spatial skew.
         let bucket = crate::metrics::EngineMetrics::cluster_bucket(m.pickup_cluster.0);
-        self.metrics.book_ns_cluster[bucket].record(t0.elapsed().as_nanos() as u64);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        self.metrics.book_ns_cluster[bucket].record(elapsed_ns);
         self.metrics.bookings_cluster[bucket].inc();
+        // Latency exemplar: remember which trace produced a slow
+        // booking so /metrics links back to the flight recorder.
+        if let Some(ctx) = xar_obs::trace::current_ctx() {
+            self.metrics.book_exemplar.offer(elapsed_ns, ctx.trace);
+        }
         tspan.attr("ride", m.ride.0);
         tspan.attr("shortest_paths", sp_count);
         tspan.attr("detour_m", actual_detour);

@@ -34,9 +34,16 @@
 //! | `engine.book_ns{cluster="bK"}` | histogram | booking latency by pick-up cluster bucket (`K = cluster id mod 8`) |
 //! | `engine.bookings{cluster="bK"}` | counter | bookings per pick-up cluster bucket |
 //! | `engine.cluster_rides{cluster="bK"}` | gauge | live rides whose source lies in cluster bucket `K` (+1 on create, −1 on retire) |
+//!
+//! The `engine.search_ns{tier=…}` and `engine.book_ns` families also
+//! retain latency **exemplars** (trace ids of the slowest recent
+//! requests, captured when a trace is active) via
+//! [`xar_obs::profile::exemplar_handle`]; `/metrics` renders them in
+//! OpenMetrics exemplar syntax.
 
 use std::sync::Arc;
 
+use xar_obs::profile::{exemplar_handle, ExemplarSlot};
 use xar_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Number of cluster buckets for per-cluster labels. Cluster ids are
@@ -93,6 +100,13 @@ pub struct EngineMetrics {
     /// older epoch. Persistently non-zero means a reader is stuck
     /// pinned.
     pub snapshot_backlog: Arc<Gauge>,
+    /// Latency exemplars for `engine.search_ns{tier=…}` — the trace ids
+    /// behind the slowest recent searches per tier, index-aligned with
+    /// [`SEARCH_TIERS`]. Process-global (exemplars link to the
+    /// process-global flight recorder's trace ids).
+    pub search_exemplar_tier: [Arc<ExemplarSlot>; 3],
+    /// Latency exemplars for the aggregate `engine.book_ns` series.
+    pub book_exemplar: Arc<ExemplarSlot>,
 }
 
 impl EngineMetrics {
@@ -122,6 +136,9 @@ impl EngineMetrics {
         let snapshot_publishes = registry.counter("engine.snapshot_publishes");
         let snapshot_retired_freed = registry.counter("engine.snapshot_retired_freed");
         let snapshot_backlog = registry.gauge("engine.snapshot_backlog");
+        let search_exemplar_tier =
+            SEARCH_TIERS.map(|t| exemplar_handle("engine.search_ns", &[("tier", t)]));
+        let book_exemplar = exemplar_handle("engine.book_ns", &[]);
         Self {
             registry,
             search_ns,
@@ -138,6 +155,8 @@ impl EngineMetrics {
             snapshot_publishes,
             snapshot_retired_freed,
             snapshot_backlog,
+            search_exemplar_tier,
+            book_exemplar,
         }
     }
 

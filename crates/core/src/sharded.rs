@@ -461,7 +461,15 @@ impl ShardedXarEngine {
         sort_matches(out);
         out.truncate(limit);
         tspan.attr("matches", out.len());
-        tier_hist.record(t0.elapsed().as_nanos() as u64);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        tier_hist.record(elapsed_ns);
+        // Latency exemplar per tier: retain the trace ids behind the
+        // slowest recent searches (atomics only — the warmed search
+        // path stays allocation-free; skipped when tracing is off).
+        if let Some(ctx) = xar_obs::trace::current_ctx() {
+            inner.metrics.search_exemplar_tier[EngineMetrics::tier_index(src_walkable.len())]
+                .offer(elapsed_ns, ctx.trace);
+        }
         Ok(())
     }
 
@@ -476,6 +484,8 @@ impl ShardedXarEngine {
             return;
         }
         let t0 = Instant::now();
+        let mut tspan = xar_obs::trace::span("snapshot.publish");
+        tspan.attr("shard", i);
         let outcome = shard.snapshot.publish(ShardSnapshot::build(engine));
         shard.published_version.store(version, Ordering::Relaxed);
         let m = &self.inner.metrics;
@@ -571,6 +581,52 @@ impl ShardedXarEngine {
                 f(ride);
             }
         }
+    }
+
+    /// Per-shard introspection — the `/debug/shards` payload. One JSON
+    /// record per shard: live rides, engine state version vs. the
+    /// version of the published search snapshot (a lag means a write
+    /// path skipped the republish — by design only when nothing
+    /// searchable changed), the retired-snapshot backlog awaiting
+    /// epoch reclamation, and how many clusters the shard holds index
+    /// entries for. Takes each shard's read lock briefly, one at a
+    /// time.
+    pub fn shard_debug_json(&self) -> String {
+        let inner = &*self.inner;
+        let cluster_count = inner.region.cluster_count();
+        let mut w = xar_obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("shards");
+        w.begin_array();
+        for (i, shard) in inner.shards.iter().enumerate() {
+            let (rides, state_version) = {
+                let (guard, _hold) = self.read_shard(i);
+                (guard.ride_count(), guard.state_version())
+            };
+            let published = shard.published_version.load(Ordering::Relaxed);
+            let occupied = (0..cluster_count)
+                .filter(|&c| inner.occupancy.cluster_mask(c) & (1u64 << i) != 0)
+                .count();
+            w.begin_object();
+            w.key("shard");
+            w.number_u64(i as u64);
+            w.key("rides");
+            w.number_u64(rides as u64);
+            w.key("state_version");
+            w.number_u64(state_version);
+            w.key("published_version");
+            w.number_u64(published);
+            w.key("publish_lag");
+            w.number_u64(state_version.saturating_sub(published));
+            w.key("retired_backlog");
+            w.number_u64(shard.snapshot.retired_len() as u64);
+            w.key("occupied_clusters");
+            w.number_u64(occupied as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
     /// Total heap bytes: the shared region tables once, plus every

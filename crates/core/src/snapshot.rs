@@ -112,6 +112,112 @@ impl EpochDomain {
     }
 }
 
+/// The state of one reader announcement slot, for introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Unclaimed.
+    Free,
+    /// Claimed by a thread that is not currently pinned.
+    Idle,
+    /// Pinned at the contained epoch.
+    Pinned(u64),
+}
+
+/// A point-in-time view of the process-wide epoch domain — the
+/// `/debug/epoch` payload. Built by [`epoch_debug`].
+#[derive(Debug, Clone)]
+pub struct EpochDebug {
+    /// The current global epoch.
+    pub epoch: u64,
+    /// Every claimed slot, as `(slot index, state)`; free slots are
+    /// omitted (the domain has 64 in total).
+    pub slots: Vec<(usize, SlotState)>,
+    /// Number of slots currently pinned.
+    pub pinned: usize,
+    /// The smallest pinned epoch, if any reader is pinned.
+    pub min_active: Option<u64>,
+    /// Number of pinned readers announcing an epoch strictly older than
+    /// the current one — each is delaying reclamation of anything
+    /// retired since it pinned. Persistently non-zero with a growing
+    /// retire backlog means a reader is stuck (a reclamation stall).
+    pub stalled: usize,
+}
+
+impl EpochDebug {
+    /// Render as a JSON document (the `/debug/epoch` body).
+    pub fn to_json(&self) -> String {
+        let mut w = xar_obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("epoch");
+        w.number_u64(self.epoch);
+        w.key("pinned");
+        w.number_u64(self.pinned as u64);
+        w.key("min_active");
+        match self.min_active {
+            Some(v) => w.number_u64(v),
+            None => w.null(),
+        }
+        w.key("stalled");
+        w.number_u64(self.stalled as u64);
+        w.key("slots");
+        w.begin_array();
+        for &(idx, state) in &self.slots {
+            w.begin_object();
+            w.key("slot");
+            w.number_u64(idx as u64);
+            w.key("state");
+            match state {
+                SlotState::Free => w.string("free"),
+                SlotState::Idle => w.string("idle"),
+                SlotState::Pinned(e) => {
+                    w.string("pinned");
+                    w.key("epoch");
+                    w.number_u64(e);
+                }
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Snapshot the epoch domain: current epoch, claimed slots and their
+/// announced epochs, and how many pinned readers lag the epoch. Reads
+/// are individually `SeqCst` but the scan as a whole is unsynchronized
+/// — values may be mutually torn, which is fine for introspection.
+pub fn epoch_debug() -> EpochDebug {
+    let epoch = DOMAIN.epoch.load(SeqCst);
+    let mut slots = Vec::new();
+    let mut pinned = 0;
+    let mut min_active = u64::MAX;
+    let mut stalled = 0;
+    for (idx, s) in DOMAIN.slots.iter().enumerate() {
+        let v = s.0.load(SeqCst);
+        let state = match v {
+            SLOT_FREE => continue,
+            SLOT_IDLE => SlotState::Idle,
+            e => {
+                pinned += 1;
+                min_active = min_active.min(e);
+                if e < epoch {
+                    stalled += 1;
+                }
+                SlotState::Pinned(e)
+            }
+        };
+        slots.push((idx, state));
+    }
+    EpochDebug {
+        epoch,
+        slots,
+        pinned,
+        min_active: (min_active != u64::MAX).then_some(min_active),
+        stalled,
+    }
+}
+
 /// A thread's claim on one announcement slot, released (set back to
 /// [`SLOT_FREE`]) when the thread exits.
 struct ThreadSlot {
@@ -249,10 +355,17 @@ impl SnapshotCell {
         unsafe { &*self.ptr.load(SeqCst) }
     }
 
+    /// Retired snapshots currently awaiting reclamation (the
+    /// `/debug/shards` backlog column). Takes the retired-list lock.
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
     /// Atomically replace the published snapshot, retire the previous
     /// one, and opportunistically free retired snapshots no reader can
     /// still observe.
     pub fn publish(&self, snapshot: ShardSnapshot) -> PublishOutcome {
+        let mut tspan = xar_obs::trace::span("epoch.retire_scan");
         let new = Box::into_raw(Box::new(snapshot));
         let old = self.ptr.swap(new, SeqCst);
         // Tag with the *post*-advance epoch: any reader announcing an
@@ -274,7 +387,10 @@ impl SnapshotCell {
                 true
             }
         });
-        PublishOutcome { freed: before - retired.len(), backlog: retired.len() }
+        let outcome = PublishOutcome { freed: before - retired.len(), backlog: retired.len() };
+        tspan.attr("freed", outcome.freed);
+        tspan.attr("backlog", outcome.backlog);
+        outcome
     }
 }
 

@@ -16,32 +16,43 @@
 //!    segments ordered, finite non-negative detour). A reader that ever
 //!    observed a half-published index would trip one of them.
 //!
-//! Both phases share one test function: the `#[global_allocator]`
-//! counts process-wide, so a concurrently running hammer would pollute
-//! the zero-allocation window if the phases were separate `#[test]`s.
+//! Both phases share one test function so the test thread's warmed
+//! state carries over; the counter is per-thread so neither the libtest
+//! harness's main thread nor the phase-2 writers pollute the
+//! zero-allocation window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use xar_core::{EngineConfig, RideMatch, RideOffer, RideRequest, ShardedXarEngine};
 use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
 use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig, RoadGraph};
 
-/// System allocator with an allocation counter bolted on.
-struct CountingAlloc {
-    allocs: AtomicU64,
+thread_local! {
+    /// Allocations made by *this* thread. Per-thread because the
+    /// libtest harness's main thread allocates concurrently with the
+    /// test thread; a process-global count is flaky by construction.
+    /// `Cell<u64>` is const-initialised with no destructor, so the
+    /// hook never allocates or touches TLS teardown.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
-static ALLOCS: CountingAlloc = CountingAlloc { allocs: AtomicU64::new(0) };
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// System allocator with a per-thread allocation counter bolted on.
+struct CountingAlloc;
 
 #[global_allocator]
-static GLOBAL: &CountingAlloc = &ALLOCS;
+static GLOBAL: CountingAlloc = CountingAlloc;
 
-unsafe impl GlobalAlloc for &'static CountingAlloc {
+unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocs.fetch_add(1, Ordering::Relaxed);
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -141,7 +152,7 @@ fn search_path_is_allocation_free_and_tear_free() {
     }
     assert!(warm_hits > 0, "rotation found no matches; phase 1 would be vacuous");
 
-    let before = ALLOCS.allocs.load(Ordering::Relaxed);
+    let before = thread_allocs();
     let mut measured_hits = 0usize;
     for round in 0..100u32 {
         for req in &rotation {
@@ -152,7 +163,7 @@ fn search_path_is_allocation_free_and_tear_free() {
         }
         black_box(round);
     }
-    let delta = ALLOCS.allocs.load(Ordering::Relaxed) - before;
+    let delta = thread_allocs() - before;
     assert_eq!(
         delta, 0,
         "warmed search_into allocated {delta} times over 6 400 searches \

@@ -21,6 +21,10 @@
 //! * [`trace`] — a bounded flight recorder for request-scoped causal
 //!   span timelines with tail sampling; [`chrome`] exports its
 //!   snapshots as Perfetto-loadable Chrome trace-event JSON.
+//! * [`profile`] — continuous profiling over the flight recorder:
+//!   hierarchical self/total-time aggregation, collapsed-stack and
+//!   speedscope artifacts, per-span allocation attribution, and
+//!   latency exemplars linking `/metrics` back to trace ids.
 //!
 //! ```
 //! use xar_obs::Registry;
@@ -43,6 +47,7 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod promtext;
 pub mod registry;
 pub mod serve;

@@ -1,0 +1,1117 @@
+//! Continuous profiling on top of the flight recorder.
+//!
+//! The [`trace`](crate::trace) module answers "what happened inside
+//! *this* request"; this module answers "where does time and memory go
+//! across *all* requests". It has four parts:
+//!
+//! * [`Profile`] — aggregates kept span trees into a hierarchical
+//!   self/total-time profile (one node per distinct span *stack path*,
+//!   merged across traces and threads).
+//! * Artifact export/import — [`Profile::to_collapsed`] emits
+//!   flamegraph.pl / inferno-compatible collapsed stacks and
+//!   [`Profile::to_speedscope`] emits a speedscope "sampled" JSON
+//!   document; [`parse_collapsed`] / [`parse_speedscope`] read both
+//!   back so artifacts are self-validating (round-trip tested).
+//! * Allocation attribution — an installable [`ProfilingAlloc`]
+//!   global-allocator wrapper that, while [`set_alloc_profiling`] is
+//!   on, attributes every allocation to the innermost open trace span
+//!   on the allocating thread (a lock-free fixed-size table; the
+//!   disabled path is one relaxed load). [`alloc_profile`] reads the
+//!   attribution back.
+//! * Exemplars — per-series retention of the trace ids behind the
+//!   highest-latency samples ([`exemplar_handle`] / [`ExemplarSlot`]),
+//!   rendered by [`promtext`](crate::promtext) in OpenMetrics exemplar
+//!   syntax so `/metrics` links straight back to traces.
+//!
+//! ```
+//! use xar_obs::profile::{parse_collapsed, Profile};
+//! use xar_obs::trace::{Recorder, TraceConfig};
+//!
+//! let rec = Recorder::new(TraceConfig::keep_all());
+//! {
+//!     let _root = rec.start_root("request");
+//!     let _child = rec.child_span("search");
+//! }
+//! let profile = Profile::from_snapshot(&rec.snapshot());
+//! let collapsed = profile.to_collapsed();
+//! assert!(collapsed.contains("request;search"));
+//! assert_eq!(parse_collapsed(&collapsed).unwrap().len(), 2);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{JsonValue, JsonWriter};
+use crate::trace::{EventKind, TraceSnapshot};
+
+// ---------------------------------------------------------------------------
+// Span-tree aggregation
+// ---------------------------------------------------------------------------
+
+/// One node of an aggregated profile: a distinct span stack path, with
+/// time and invocation counts merged over every occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Span name (the innermost frame of this path).
+    pub name: String,
+    /// Wall time spent in this path, children included.
+    pub total_ns: u64,
+    /// Wall time spent in this path, children excluded.
+    pub self_ns: u64,
+    /// Number of spans merged into this node.
+    pub count: u64,
+    /// Child paths, sorted by descending `total_ns`.
+    pub children: Vec<ProfileNode>,
+}
+
+/// A hierarchical self/total-time profile aggregated from kept traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Root spans (request kinds), sorted by descending `total_ns`.
+    pub roots: Vec<ProfileNode>,
+    /// Number of traces merged in.
+    pub traces: u64,
+    /// Number of spans merged in.
+    pub spans: u64,
+}
+
+/// Mutable aggregation node (arena form, finalized into [`ProfileNode`]).
+struct ANode {
+    name: String,
+    total: u64,
+    count: u64,
+    children: Vec<usize>,
+}
+
+struct Arena {
+    nodes: Vec<ANode>,
+    roots: Vec<usize>,
+}
+
+impl Arena {
+    fn child_of(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(ANode {
+            name: name.to_string(),
+            total: 0,
+            count: 0,
+            children: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    fn finalize(&self, idx: usize) -> ProfileNode {
+        let node = &self.nodes[idx];
+        let mut children: Vec<ProfileNode> =
+            node.children.iter().map(|&c| self.finalize(c)).collect();
+        children.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        let child_total: u64 = children.iter().map(|c| c.total_ns).sum();
+        ProfileNode {
+            name: node.name.clone(),
+            total_ns: node.total,
+            self_ns: node.total.saturating_sub(child_total),
+            count: node.count,
+            children,
+        }
+    }
+}
+
+impl Profile {
+    /// Aggregate every kept trace in `snap` into one profile. Spans
+    /// merge by their stack *path* (root name, then each child name),
+    /// so `request → search` accumulates separately from
+    /// `request → book` even when both contain a `lock.read_acquire`.
+    pub fn from_snapshot(snap: &TraceSnapshot) -> Self {
+        let mut arena = Arena { nodes: Vec::new(), roots: Vec::new() };
+        let mut spans = 0_u64;
+        for trace in &snap.traces {
+            // Events within one kept trace are in per-thread recording
+            // order with balanced Begin/End pairs; adopted cross-thread
+            // segments arrive as separate kept traces. Stacks are still
+            // keyed by tid defensively.
+            let mut stacks: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
+            for ev in &trace.events {
+                let stack = stacks.entry(ev.tid).or_default();
+                match ev.kind {
+                    EventKind::Begin => {
+                        let parent = stack.last().map(|&(idx, _)| idx);
+                        let idx = arena.child_of(parent, ev.name);
+                        stack.push((idx, ev.ts_ns));
+                    }
+                    EventKind::End => {
+                        if let Some((idx, start)) = stack.pop() {
+                            arena.nodes[idx].total += ev.ts_ns.saturating_sub(start);
+                            arena.nodes[idx].count += 1;
+                            spans += 1;
+                        }
+                    }
+                    EventKind::Instant => {}
+                }
+            }
+        }
+        let mut roots: Vec<ProfileNode> =
+            arena.roots.iter().map(|&r| arena.finalize(r)).collect();
+        roots.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        Profile { roots, traces: snap.traces.len() as u64, spans }
+    }
+
+    /// Build a profile from `(stack path, self time)` entries — the
+    /// inverse of [`Profile::collapsed_entries`], used by the artifact
+    /// round-trip tests and by tooling that re-loads saved profiles.
+    /// Counts are 1 for listed paths and 0 for implied ancestors.
+    pub fn from_entries(entries: &[(Vec<String>, u64)]) -> Self {
+        let mut arena = Arena { nodes: Vec::new(), roots: Vec::new() };
+        let mut selfs: HashMap<usize, u64> = HashMap::new();
+        let mut spans = 0_u64;
+        for (path, value) in entries {
+            let mut parent = None;
+            for name in path {
+                parent = Some(arena.child_of(parent, name));
+            }
+            if let Some(leaf) = parent {
+                *selfs.entry(leaf).or_insert(0) += value;
+                arena.nodes[leaf].count += 1;
+                spans += 1;
+            }
+        }
+        // Totals are self + descendant self, accumulated bottom-up.
+        fn fill_total(arena: &mut Arena, selfs: &HashMap<usize, u64>, idx: usize) -> u64 {
+            let children = arena.nodes[idx].children.clone();
+            let mut total = selfs.get(&idx).copied().unwrap_or(0);
+            for c in children {
+                total += fill_total(arena, selfs, c);
+            }
+            arena.nodes[idx].total = total;
+            total
+        }
+        for r in arena.roots.clone() {
+            fill_total(&mut arena, &selfs, r);
+        }
+        let mut roots: Vec<ProfileNode> =
+            arena.roots.iter().map(|&r| arena.finalize(r)).collect();
+        roots.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        Profile { roots, traces: 0, spans }
+    }
+
+    /// Total wall time across all roots.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// The canonical `(stack path, self time)` entry list: one entry
+    /// per node with non-zero self time, in deterministic DFS order.
+    /// Both artifact formats serialize exactly this.
+    pub fn collapsed_entries(&self) -> Vec<(Vec<String>, u64)> {
+        fn walk(
+            node: &ProfileNode,
+            path: &mut Vec<String>,
+            out: &mut Vec<(Vec<String>, u64)>,
+        ) {
+            path.push(node.name.clone());
+            if node.self_ns > 0 {
+                out.push((path.clone(), node.self_ns));
+            }
+            for c in &node.children {
+                walk(c, path, out);
+            }
+            path.pop();
+        }
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        for r in &self.roots {
+            walk(r, &mut path, &mut out);
+        }
+        out
+    }
+
+    /// Render as collapsed stacks: one `a;b;c <self_ns>` line per
+    /// entry, directly loadable by flamegraph.pl and inferno.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, value) in self.collapsed_entries() {
+            for (i, frame) in path.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                push_frame_sanitized(&mut out, frame);
+            }
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a speedscope ("sampled" profile, nanosecond unit)
+    /// JSON document: one sample per entry with its self time as the
+    /// weight.
+    pub fn to_speedscope(&self) -> String {
+        let entries = self.collapsed_entries();
+        let mut frames: Vec<&str> = Vec::new();
+        let mut frame_idx: HashMap<&str, usize> = HashMap::new();
+        for (path, _) in &entries {
+            for frame in path {
+                let frame = frame.as_str();
+                if !frame_idx.contains_key(frame) {
+                    frame_idx.insert(frame, frames.len());
+                    frames.push(frame);
+                }
+            }
+        }
+        let total: u64 = entries.iter().map(|&(_, v)| v).sum();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("$schema");
+        w.string("https://www.speedscope.app/file-format-schema.json");
+        w.key("name");
+        w.string("xar profile");
+        w.key("activeProfileIndex");
+        w.number_u64(0);
+        w.key("shared");
+        w.begin_object();
+        w.key("frames");
+        w.begin_array();
+        for frame in &frames {
+            w.begin_object();
+            w.key("name");
+            w.string(frame);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.key("profiles");
+        w.begin_array();
+        w.begin_object();
+        w.key("type");
+        w.string("sampled");
+        w.key("name");
+        w.string("wall");
+        w.key("unit");
+        w.string("nanoseconds");
+        w.key("startValue");
+        w.number_u64(0);
+        w.key("endValue");
+        w.number_u64(total);
+        w.key("samples");
+        w.begin_array();
+        for (path, _) in &entries {
+            w.begin_array();
+            for frame in path {
+                w.number_u64(frame_idx[frame.as_str()] as u64);
+            }
+            w.end_array();
+        }
+        w.end_array();
+        w.key("weights");
+        w.begin_array();
+        for &(_, v) in &entries {
+            w.number_u64(v);
+        }
+        w.end_array();
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// The `n` heaviest paths by self time, as `(path, self_ns, count)`
+    /// with the path joined by `;` — the CLI summary table.
+    pub fn top_self(&self, n: usize) -> Vec<(String, u64, u64)> {
+        fn walk(node: &ProfileNode, path: &mut Vec<String>, out: &mut Vec<(String, u64, u64)>) {
+            path.push(node.name.clone());
+            if node.self_ns > 0 {
+                out.push((path.join(";"), node.self_ns, node.count));
+            }
+            for c in &node.children {
+                walk(c, path, out);
+            }
+            path.pop();
+        }
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        for r in &self.roots {
+            walk(r, &mut path, &mut out);
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(n);
+        out
+    }
+
+    /// Render the hierarchical profile as JSON (the `/debug/profile`
+    /// payload body).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        fn write_node(w: &mut JsonWriter, node: &ProfileNode) {
+            w.begin_object();
+            w.key("name");
+            w.string(&node.name);
+            w.key("total_ns");
+            w.number_u64(node.total_ns);
+            w.key("self_ns");
+            w.number_u64(node.self_ns);
+            w.key("count");
+            w.number_u64(node.count);
+            w.key("children");
+            w.begin_array();
+            for c in &node.children {
+                write_node(w, c);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.begin_object();
+        w.key("traces");
+        w.number_u64(self.traces);
+        w.key("spans");
+        w.number_u64(self.spans);
+        w.key("total_ns");
+        w.number_u64(self.total_ns());
+        w.key("roots");
+        w.begin_array();
+        for r in &self.roots {
+            write_node(w, r);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// Collapsed-stack frames must not contain the `;` path separator or
+/// the value-separating space; span names are clean identifiers, but
+/// sanitize defensively so artifacts always re-parse.
+fn push_frame_sanitized(out: &mut String, frame: &str) {
+    for c in frame.chars() {
+        out.push(match c {
+            ';' | ' ' | '\n' | '\t' | '\r' => '_',
+            c => c,
+        });
+    }
+}
+
+/// Parse a collapsed-stack document back into `(path, value)` entries.
+/// The inverse of [`Profile::to_collapsed`].
+pub fn parse_collapsed(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator", i + 1))?;
+        let value: u64 =
+            value.parse().map_err(|_| format!("line {}: bad value '{value}'", i + 1))?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        let path: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if path.iter().any(String::is_empty) {
+            return Err(format!("line {}: empty frame in '{stack}'", i + 1));
+        }
+        out.push((path, value));
+    }
+    Ok(out)
+}
+
+/// Parse a speedscope "sampled" document (as written by
+/// [`Profile::to_speedscope`]) back into `(path, weight)` entries.
+pub fn parse_speedscope(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let doc = crate::json::parse(text)?;
+    let frames = doc
+        .get("shared")
+        .and_then(|s| s.get("frames"))
+        .and_then(JsonValue::as_array)
+        .ok_or("missing shared.frames")?;
+    let names: Vec<&str> = frames
+        .iter()
+        .map(|f| f.get("name").and_then(JsonValue::as_str).ok_or("frame without name"))
+        .collect::<Result<_, _>>()?;
+    let profile = doc
+        .get("profiles")
+        .and_then(JsonValue::as_array)
+        .and_then(|p| p.first())
+        .ok_or("missing profiles[0]")?;
+    if profile.get("type").and_then(JsonValue::as_str) != Some("sampled") {
+        return Err("profiles[0].type is not 'sampled'".to_string());
+    }
+    let samples = profile
+        .get("samples")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing samples")?;
+    let weights = profile
+        .get("weights")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing weights")?;
+    if samples.len() != weights.len() {
+        return Err(format!(
+            "samples/weights length mismatch: {} vs {}",
+            samples.len(),
+            weights.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(samples.len());
+    for (sample, weight) in samples.iter().zip(weights) {
+        let stack = sample.as_array().ok_or("sample is not an array")?;
+        let mut path = Vec::with_capacity(stack.len());
+        for idx in stack {
+            let idx = idx.as_u64().ok_or("non-integer frame index")? as usize;
+            let name = names.get(idx).ok_or("frame index out of range")?;
+            path.push((*name).to_string());
+        }
+        let weight = weight.as_u64().ok_or("non-integer weight")?;
+        out.push((path, weight));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Allocation attribution
+// ---------------------------------------------------------------------------
+
+/// Span-name frames the allocator hook may read concurrently with
+/// normal span entry/exit on the same thread (never cross-thread), so
+/// plain stores via `UnsafeCell` are sufficient; the entry is written
+/// before the depth that exposes it.
+struct SpanStack {
+    frames: [(*const u8, usize); SPAN_STACK_DEPTH],
+    depth: usize,
+}
+
+const SPAN_STACK_DEPTH: usize = 32;
+
+thread_local! {
+    static SPAN_STACK: UnsafeCell<SpanStack> = const {
+        UnsafeCell::new(SpanStack {
+            frames: [(std::ptr::null(), 0); SPAN_STACK_DEPTH],
+            depth: 0,
+        })
+    };
+}
+
+/// Track span entry for allocation attribution. Called by the trace
+/// guards on the armed path only (tracing disabled ⇒ zero cost here).
+#[inline]
+pub(crate) fn span_stack_push(name: &'static str) {
+    let _ = SPAN_STACK.try_with(|s| {
+        // SAFETY: the cell is thread-local and only accessed from this
+        // thread; the allocator hook reads (never writes) it, and the
+        // frame is stored before `depth` makes it visible.
+        let stack = unsafe { &mut *s.get() };
+        if stack.depth < SPAN_STACK_DEPTH {
+            stack.frames[stack.depth] = (name.as_ptr(), name.len());
+        }
+        stack.depth += 1;
+    });
+}
+
+/// Track span exit (mirror of [`span_stack_push`]).
+#[inline]
+pub(crate) fn span_stack_pop() {
+    let _ = SPAN_STACK.try_with(|s| {
+        // SAFETY: see `span_stack_push`.
+        let stack = unsafe { &mut *s.get() };
+        stack.depth = stack.depth.saturating_sub(1);
+    });
+}
+
+/// The name under which allocations outside any open span are
+/// attributed.
+pub const UNTRACKED_SPAN: &str = "(untracked)";
+
+static ALLOC_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn allocation attribution on or off. Off (the default) makes the
+/// allocator hook a single relaxed load and a branch. Enable *before*
+/// the traced work starts so span entry/exit pairs stay balanced.
+pub fn set_alloc_profiling(on: bool) {
+    ALLOC_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether allocation attribution is currently on.
+pub fn alloc_profiling_enabled() -> bool {
+    ALLOC_ENABLED.load(Ordering::Relaxed)
+}
+
+/// One attribution bucket: a span name (as raw parts of the `'static`
+/// string) plus byte/allocation counters. Slots are claimed once by
+/// compare-and-swap and never released.
+struct AllocCell {
+    key: AtomicPtr<u8>,
+    key_len: AtomicUsize,
+    bytes: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl AllocCell {
+    const fn new() -> Self {
+        Self {
+            key: AtomicPtr::new(std::ptr::null_mut()),
+            key_len: AtomicUsize::new(0),
+            bytes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
+    }
+}
+
+const ALLOC_TABLE_SLOTS: usize = 256;
+const ALLOC_PROBE_LIMIT: usize = 8;
+
+static ALLOC_TABLE: [AllocCell; ALLOC_TABLE_SLOTS] =
+    [const { AllocCell::new() }; ALLOC_TABLE_SLOTS];
+
+/// Catch-all bucket when linear probing gives up (pathological name
+/// count); conservation holds: every recorded byte lands somewhere.
+static ALLOC_OVERFLOW: AllocCell = AllocCell::new();
+
+/// The span name reported for the overflow bucket.
+pub const OVERFLOW_SPAN: &str = "(table-overflow)";
+
+fn alloc_hash(ptr: *const u8) -> usize {
+    // SplitMix64 over the address; distinct `&'static str` literals
+    // have distinct, stable addresses.
+    let mut x = ptr as u64;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) as usize
+}
+
+/// Record `size` bytes against the span name at (`ptr`, `len`).
+/// Lock-free and allocation-free: at most `ALLOC_PROBE_LIMIT` probes
+/// of relaxed atomics.
+fn alloc_table_record(ptr: *const u8, len: usize, size: usize) {
+    let start = alloc_hash(ptr);
+    for probe in 0..ALLOC_PROBE_LIMIT {
+        let cell = &ALLOC_TABLE[(start + probe) % ALLOC_TABLE_SLOTS];
+        let key = cell.key.load(Ordering::Acquire);
+        if key.is_null() {
+            match cell.key.compare_exchange(
+                std::ptr::null_mut(),
+                ptr.cast_mut(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    cell.key_len.store(len, Ordering::Release);
+                }
+                Err(winner) if winner != ptr.cast_mut() => continue,
+                Err(_) => {}
+            }
+        } else if key != ptr.cast_mut() {
+            continue;
+        }
+        cell.bytes.fetch_add(size as u64, Ordering::Relaxed);
+        cell.allocs.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    ALLOC_OVERFLOW.bytes.fetch_add(size as u64, Ordering::Relaxed);
+    ALLOC_OVERFLOW.allocs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The allocator-side record hook: attribute `size` bytes to the
+/// innermost open span on this thread (or [`UNTRACKED_SPAN`]).
+#[inline]
+fn record_alloc(size: usize) {
+    if !ALLOC_ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let frame = SPAN_STACK
+        .try_with(|s| {
+            // SAFETY: read-only access; same-thread writers order the
+            // frame store before the depth store (see SpanStack).
+            let stack = unsafe { &*s.get() };
+            if stack.depth == 0 {
+                None
+            } else {
+                Some(stack.frames[stack.depth.min(SPAN_STACK_DEPTH) - 1])
+            }
+        })
+        .ok()
+        .flatten();
+    let (ptr, len) = frame.unwrap_or((UNTRACKED_SPAN.as_ptr(), UNTRACKED_SPAN.len()));
+    alloc_table_record(ptr, len, size);
+}
+
+/// A global-allocator wrapper that feeds the allocation profiler.
+///
+/// Install it in a binary's root:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: xar_obs::profile::ProfilingAlloc = xar_obs::profile::ProfilingAlloc::system();
+/// ```
+///
+/// While profiling is off (the default) each allocation pays one
+/// relaxed atomic load and a branch on top of the wrapped allocator;
+/// deallocation is entirely pass-through. The profiler attributes
+/// *allocation volume* (bytes requested, call count), not live bytes.
+#[derive(Debug, Default)]
+pub struct ProfilingAlloc<A = System> {
+    inner: A,
+}
+
+impl ProfilingAlloc<System> {
+    /// Wrap the system allocator.
+    pub const fn system() -> Self {
+        Self { inner: System }
+    }
+}
+
+impl<A> ProfilingAlloc<A> {
+    /// Wrap an arbitrary inner allocator.
+    pub const fn with(inner: A) -> Self {
+        Self { inner }
+    }
+}
+
+// SAFETY: defers every allocator obligation to the wrapped allocator;
+// the added hook neither allocates nor panics.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for ProfilingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { self.inner.alloc(layout) };
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { self.inner.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { self.inner.alloc_zeroed(layout) };
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { self.inner.realloc(ptr, layout, new_size) };
+        if !p.is_null() && new_size > layout.size() {
+            record_alloc(new_size - layout.size());
+        }
+        p
+    }
+}
+
+/// Bytes and allocation counts attributed to one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAlloc {
+    /// Span name ([`UNTRACKED_SPAN`] for allocations outside spans).
+    pub name: String,
+    /// Total bytes requested while this span was innermost.
+    pub bytes: u64,
+    /// Number of allocation calls.
+    pub allocs: u64,
+}
+
+/// Read the current allocation attribution, aggregated by span name
+/// (distinct `&'static str` addresses with equal text merge), sorted
+/// by descending bytes.
+pub fn alloc_profile() -> Vec<SpanAlloc> {
+    let mut by_name: HashMap<String, (u64, u64)> = HashMap::new();
+    let mut fold = |name: &str, bytes: u64, allocs: u64| {
+        if allocs > 0 {
+            let e = by_name.entry(name.to_string()).or_insert((0, 0));
+            e.0 += bytes;
+            e.1 += allocs;
+        }
+    };
+    for cell in &ALLOC_TABLE {
+        let key = cell.key.load(Ordering::Acquire);
+        if key.is_null() {
+            continue;
+        }
+        let len = cell.key_len.load(Ordering::Acquire);
+        // SAFETY: (key, len) were captured from a `&'static str` in
+        // `record_alloc`, so the bytes are live and valid UTF-8. A
+        // racing claim may expose len 0 briefly; that yields "".
+        let name = unsafe {
+            std::str::from_utf8_unchecked(std::slice::from_raw_parts(key, len))
+        };
+        fold(
+            if name.is_empty() { UNTRACKED_SPAN } else { name },
+            cell.bytes.load(Ordering::Relaxed),
+            cell.allocs.load(Ordering::Relaxed),
+        );
+    }
+    fold(
+        OVERFLOW_SPAN,
+        ALLOC_OVERFLOW.bytes.load(Ordering::Relaxed),
+        ALLOC_OVERFLOW.allocs.load(Ordering::Relaxed),
+    );
+    let mut out: Vec<SpanAlloc> = by_name
+        .into_iter()
+        .map(|(name, (bytes, allocs))| SpanAlloc { name, bytes, allocs })
+        .collect();
+    out.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Zero every attribution counter (slot keys are kept).
+pub fn reset_alloc_profile() {
+    for cell in &ALLOC_TABLE {
+        cell.bytes.store(0, Ordering::Relaxed);
+        cell.allocs.store(0, Ordering::Relaxed);
+    }
+    ALLOC_OVERFLOW.bytes.store(0, Ordering::Relaxed);
+    ALLOC_OVERFLOW.allocs.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Exemplars
+// ---------------------------------------------------------------------------
+
+/// Exemplar slots retained per series.
+pub const EXEMPLARS_PER_SERIES: usize = 4;
+
+/// How long an exemplar stays eligible before any fresh sample may
+/// replace it, regardless of value (keeps `/metrics` pointing at
+/// recent traces instead of one ancient spike).
+pub const EXEMPLAR_RETENTION_MS: u64 = 60_000;
+
+fn now_ms() -> u64 {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    let base = BASE.get_or_init(Instant::now);
+    // +1 so 0 stays the "empty slot" sentinel.
+    u64::try_from(base.elapsed().as_millis()).unwrap_or(u64::MAX - 1) + 1
+}
+
+struct ExemplarCell {
+    value: AtomicU64,
+    trace: AtomicU64,
+    ts_ms: AtomicU64,
+}
+
+/// Lock-free retention of the highest-valued recent samples of one
+/// series, with the trace id that produced each. Obtain via
+/// [`exemplar_handle`] at setup; [`ExemplarSlot::offer`] on the hot
+/// path is a handful of relaxed atomics and never allocates.
+pub struct ExemplarSlot {
+    family: String,
+    labels: Vec<(String, String)>,
+    cells: [ExemplarCell; EXEMPLARS_PER_SERIES],
+}
+
+impl std::fmt::Debug for ExemplarSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExemplarSlot")
+            .field("family", &self.family)
+            .field("labels", &self.labels)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExemplarSlot {
+    /// Offer a `(value, trace id)` observation. It is retained when a
+    /// slot is empty, stale (older than [`EXEMPLAR_RETENTION_MS`]), or
+    /// holds a smaller value — i.e. each series keeps (about) its
+    /// [`EXEMPLARS_PER_SERIES`] largest recent samples. Races may drop
+    /// an observation; retention is best-effort by design.
+    pub fn offer(&self, value: u64, trace: u64) {
+        let now = now_ms();
+        let mut victim = None;
+        let mut victim_value = u64::MAX;
+        for cell in &self.cells {
+            let ts = cell.ts_ms.load(Ordering::Relaxed);
+            let stale = ts == 0 || now.saturating_sub(ts) > EXEMPLAR_RETENTION_MS;
+            let v = if stale { 0 } else { cell.value.load(Ordering::Relaxed) };
+            if v < victim_value {
+                victim_value = v;
+                victim = Some(cell);
+            }
+        }
+        let Some(cell) = victim else { return };
+        if value >= victim_value || victim_value == 0 {
+            cell.value.store(value, Ordering::Relaxed);
+            cell.trace.store(trace, Ordering::Relaxed);
+            cell.ts_ms.store(now, Ordering::Relaxed);
+        }
+    }
+
+    /// The metric family this slot belongs to (e.g. `engine.search_ns`).
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+}
+
+/// One retained exemplar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the series it annotates).
+    pub value: u64,
+    /// The trace id of the request that produced it.
+    pub trace: u64,
+    /// Milliseconds since the observation.
+    pub age_ms: u64,
+}
+
+/// The exemplars of one series, for rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExemplarSeries {
+    /// Metric family name (pre-sanitization, e.g. `engine.search_ns`).
+    pub family: String,
+    /// Label pairs identifying the series within the family.
+    pub labels: Vec<(String, String)>,
+    /// Retained exemplars, sorted by descending value.
+    pub exemplars: Vec<Exemplar>,
+}
+
+fn exemplar_store() -> &'static Mutex<Vec<Arc<ExemplarSlot>>> {
+    static STORE: OnceLock<Mutex<Vec<Arc<ExemplarSlot>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Resolve (or create) the exemplar slot for `family` + `labels`.
+/// Process-global, like [`registry::global`](crate::registry::global):
+/// repeated resolution returns the same slot. Call at setup, keep the
+/// `Arc`, and [`offer`](ExemplarSlot::offer) on the hot path.
+pub fn exemplar_handle(family: &str, labels: &[(&str, &str)]) -> Arc<ExemplarSlot> {
+    let mut labels: Vec<(String, String)> =
+        labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+    labels.sort();
+    let mut store = exemplar_store().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) =
+        store.iter().find(|s| s.family == family && s.labels == labels)
+    {
+        return Arc::clone(slot);
+    }
+    let slot = Arc::new(ExemplarSlot {
+        family: family.to_string(),
+        labels,
+        cells: [const {
+            ExemplarCell {
+                value: AtomicU64::new(0),
+                trace: AtomicU64::new(0),
+                ts_ms: AtomicU64::new(0),
+            }
+        }; EXEMPLARS_PER_SERIES],
+    });
+    store.push(Arc::clone(&slot));
+    slot
+}
+
+/// Snapshot every series that currently retains at least one fresh
+/// exemplar.
+pub fn exemplar_snapshot() -> Vec<ExemplarSeries> {
+    let now = now_ms();
+    let store = exemplar_store().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    for slot in store.iter() {
+        let mut exemplars: Vec<Exemplar> = slot
+            .cells
+            .iter()
+            .filter_map(|cell| {
+                let ts = cell.ts_ms.load(Ordering::Relaxed);
+                if ts == 0 || now.saturating_sub(ts) > EXEMPLAR_RETENTION_MS {
+                    return None;
+                }
+                Some(Exemplar {
+                    value: cell.value.load(Ordering::Relaxed),
+                    trace: cell.trace.load(Ordering::Relaxed),
+                    age_ms: now.saturating_sub(ts),
+                })
+            })
+            .collect();
+        if exemplars.is_empty() {
+            continue;
+        }
+        exemplars.sort_by(|a, b| b.value.cmp(&a.value).then(a.trace.cmp(&b.trace)));
+        out.push(ExemplarSeries {
+            family: slot.family.clone(),
+            labels: slot.labels.clone(),
+            exemplars,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// /debug/profile payload
+// ---------------------------------------------------------------------------
+
+/// Aggregate the global recorder's kept traces and the allocation
+/// attribution into the `/debug/profile` JSON document.
+pub fn debug_profile_json() -> String {
+    let profile = Profile::from_snapshot(&crate::trace::recorder().snapshot());
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("profile");
+    profile.write_json(&mut w);
+    w.key("alloc");
+    w.begin_object();
+    w.key("enabled");
+    w.boolean(alloc_profiling_enabled());
+    w.key("by_span");
+    w.begin_array();
+    for entry in alloc_profile() {
+        w.begin_object();
+        w.key("name");
+        w.string(&entry.name);
+        w.key("bytes");
+        w.number_u64(entry.bytes);
+        w.key("allocs");
+        w.number_u64(entry.allocs);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Recorder, TraceConfig};
+
+    fn sample_profile() -> Profile {
+        let rec = Recorder::new(TraceConfig::keep_all());
+        for _ in 0..3 {
+            let _root = rec.start_root("request");
+            {
+                let _s = rec.child_span("search");
+                let _l = rec.child_span("lock.read_acquire");
+            }
+            let _b = rec.child_span("book");
+        }
+        Profile::from_snapshot(&rec.snapshot())
+    }
+
+    #[test]
+    fn aggregates_by_stack_path() {
+        let p = sample_profile();
+        assert_eq!(p.traces, 3);
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.roots[0];
+        assert_eq!(root.name, "request");
+        assert_eq!(root.count, 3);
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"search") && names.contains(&"book"), "{names:?}");
+        let search = root.children.iter().find(|c| c.name == "search").unwrap();
+        assert_eq!(search.children[0].name, "lock.read_acquire");
+        assert_eq!(search.count, 3);
+        // Total dominates self; self is total minus children.
+        assert!(root.total_ns >= root.self_ns);
+        let child_total: u64 = root.children.iter().map(|c| c.total_ns).sum();
+        assert_eq!(root.self_ns, root.total_ns - child_total);
+    }
+
+    #[test]
+    fn collapsed_round_trips() {
+        let p = sample_profile();
+        let entries = parse_collapsed(&p.to_collapsed()).unwrap();
+        assert_eq!(entries, p.collapsed_entries());
+    }
+
+    #[test]
+    fn speedscope_round_trips() {
+        let p = sample_profile();
+        let entries = parse_speedscope(&p.to_speedscope()).unwrap();
+        assert_eq!(entries, p.collapsed_entries());
+    }
+
+    #[test]
+    fn from_entries_reconstructs_totals() {
+        let entries = vec![
+            (vec!["a".to_string()], 5),
+            (vec!["a".to_string(), "b".to_string()], 7),
+            (vec!["a".to_string(), "c".to_string()], 2),
+        ];
+        let p = Profile::from_entries(&entries);
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].total_ns, 14);
+        assert_eq!(p.roots[0].self_ns, 5);
+        let mut got = p.collapsed_entries();
+        got.sort();
+        let mut want = entries.clone();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn collapsed_sanitizes_separators() {
+        let p = Profile::from_entries(&[(vec!["bad name;x".to_string()], 3)]);
+        let text = p.to_collapsed();
+        assert_eq!(text, "bad_name_x 3\n");
+        assert!(parse_collapsed(&text).is_ok());
+    }
+
+    #[test]
+    fn parse_collapsed_rejects_malformed() {
+        assert!(parse_collapsed("novalue").is_err());
+        assert!(parse_collapsed("a;b notanumber").is_err());
+        assert!(parse_collapsed(";a 5").is_err());
+        assert_eq!(parse_collapsed("\n  \n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn exemplar_slot_keeps_largest_recent() {
+        let slot = exemplar_handle("test.profile.exemplar_keeps", &[("k", "v")]);
+        for (value, trace) in [(10, 1), (50, 2), (30, 3), (40, 4), (20, 5), (60, 6)] {
+            slot.offer(value, trace);
+        }
+        let snap = exemplar_snapshot();
+        let series = snap
+            .iter()
+            .find(|s| s.family == "test.profile.exemplar_keeps")
+            .expect("series retained");
+        assert_eq!(series.labels, vec![("k".to_string(), "v".to_string())]);
+        let values: Vec<u64> = series.exemplars.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![60, 50, 40, 30], "keeps the 4 largest");
+        assert_eq!(series.exemplars[0].trace, 6);
+    }
+
+    #[test]
+    fn exemplar_handle_is_idempotent() {
+        let a = exemplar_handle("test.profile.idem", &[("a", "1"), ("b", "2")]);
+        let b = exemplar_handle("test.profile.idem", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&a, &b), "label order must not matter");
+    }
+
+    #[test]
+    fn alloc_attribution_lands_on_innermost_span() {
+        // Serialize against other tests that toggle the global flag.
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        reset_alloc_profile();
+        span_stack_push("test.alloc.outer");
+        span_stack_push("test.alloc.inner");
+        set_alloc_profiling(true);
+        record_alloc(100);
+        record_alloc(28);
+        span_stack_pop();
+        record_alloc(7);
+        set_alloc_profiling(false);
+        span_stack_pop();
+        let profile = alloc_profile();
+        let inner = profile.iter().find(|s| s.name == "test.alloc.inner").unwrap();
+        assert_eq!((inner.bytes, inner.allocs), (128, 2));
+        let outer = profile.iter().find(|s| s.name == "test.alloc.outer").unwrap();
+        assert_eq!((outer.bytes, outer.allocs), (7, 1));
+    }
+
+    #[test]
+    fn debug_profile_json_parses() {
+        let doc = crate::json::parse(&debug_profile_json()).unwrap();
+        assert!(doc.get("profile").is_some());
+        assert!(doc.get("alloc").and_then(|a| a.get("enabled")).is_some());
+    }
+}

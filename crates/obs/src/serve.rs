@@ -1,16 +1,25 @@
 //! Embedded operational-plane HTTP server (std `TcpListener` only).
 //!
 //! [`serve`] binds a plain HTTP/1.1 listener and exposes the live
-//! process over four GET routes:
+//! process over a handful of GET routes:
 //!
 //! * `/metrics` — Prometheus text ([`crate::promtext::render`]) of
-//!   every registry series, plus `xar_rolling` gauges (rolling-window
-//!   p50/p99/rates from the [`WindowStore`])
+//!   every registry series — latency families carry OpenMetrics
+//!   **exemplars** linking slow samples to flight-recorder trace ids
+//!   ([`crate::profile::exemplar_snapshot`]) — plus `xar_rolling`
+//!   gauges (rolling-window p50/p99/rates from the [`WindowStore`])
 //!   and `xar_alert_*` gauges mirroring the SLO engine.
 //! * `/snapshot` — the registry's cumulative JSON snapshot.
 //! * `/health` — `200 ok` when no alert is firing, `503` naming the
-//!   firing alerts otherwise (load-balancer / CI friendly).
+//!   firing alerts otherwise (load-balancer / CI friendly). When
+//!   [`OpsPlane::max_backlog`] is set, a snapshot retire backlog above
+//!   it also turns health `503` (stuck epoch reader).
 //! * `/alerts` — the SLO engine's status array as JSON.
+//! * `/debug/profile` — the aggregated span profile plus per-span
+//!   allocation attribution ([`crate::profile::debug_profile_json`]).
+//! * `/debug/epoch`, `/debug/shards` — live introspection JSON from
+//!   the embedding process via [`DebugHooks`] (the `xar-core` epoch
+//!   domain and shard map, without `xar-obs` depending on it).
 //!
 //! A background ticker thread advances the window store and
 //! re-evaluates SLO rules every `window.tick_ms()` milliseconds, so
@@ -34,6 +43,32 @@ use crate::window::{RollingKind, WindowStore};
 /// The rolling windows exported on `/metrics`, as `(label, millis)`.
 pub const ROLLING_WINDOWS: &[(&str, u64)] = &[("1s", 1_000), ("10s", 10_000), ("60s", 60_000)];
 
+/// A callback producing a JSON document for one `/debug/*` route.
+pub type DebugJsonFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Introspection callbacks the embedding process wires into the ops
+/// server. `xar-obs` sits below `xar-core`, so the server cannot reach
+/// the epoch domain or the shard map itself — the process hands it
+/// closures instead. Unset hooks answer `404`.
+#[derive(Clone, Default)]
+pub struct DebugHooks {
+    /// `/debug/epoch` — epoch-reclamation domain state (e.g.
+    /// `xar_core::snapshot::epoch_debug`).
+    pub epoch: Option<DebugJsonFn>,
+    /// `/debug/shards` — per-shard occupancy / versions / backlogs
+    /// (e.g. `ShardedXarEngine::shard_debug_json`).
+    pub shards: Option<DebugJsonFn>,
+}
+
+impl std::fmt::Debug for DebugHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DebugHooks")
+            .field("epoch", &self.epoch.is_some())
+            .field("shards", &self.shards.is_some())
+            .finish()
+    }
+}
+
 /// Everything the ops plane serves: the metric registry, its window
 /// store, and the SLO engine evaluated over it.
 #[derive(Clone)]
@@ -44,9 +79,21 @@ pub struct OpsPlane {
     pub window: Arc<WindowStore>,
     /// SLO rules evaluated against `window`.
     pub slo: Arc<SloEngine>,
+    /// Live-introspection callbacks for the `/debug/*` routes.
+    pub debug: DebugHooks,
+    /// When set, `/health` also reports `503` while the
+    /// `engine.snapshot_backlog` gauge exceeds this many retired,
+    /// unreclaimed snapshots — the signature of a reader stuck pinned
+    /// to an old epoch.
+    pub max_backlog: Option<i64>,
 }
 
 impl OpsPlane {
+    /// An ops plane with no debug hooks and no backlog threshold.
+    pub fn new(registry: Arc<Registry>, window: Arc<WindowStore>, slo: Arc<SloEngine>) -> Self {
+        Self { registry, window, slo, debug: DebugHooks::default(), max_backlog: None }
+    }
+
     /// One tick: advance the window store and re-evaluate SLO rules.
     /// The server's ticker thread calls this; tests may drive it
     /// directly for deterministic time.
@@ -58,7 +105,10 @@ impl OpsPlane {
     /// The `/metrics` document: cumulative series, rolling-window
     /// gauges, and alert gauges.
     pub fn metrics_text(&self) -> String {
-        let mut out = promtext::render(&self.registry.series());
+        let mut out = promtext::render_with_exemplars(
+            &self.registry.series(),
+            &crate::profile::exemplar_snapshot(),
+        );
         self.render_rolling(&mut out);
         self.render_alerts(&mut out);
         out
@@ -120,8 +170,10 @@ impl OpsPlane {
     }
 
     /// The `/health` body and HTTP status: `(200, "ok")` when quiet,
-    /// `(503, "firing: a, b")` when alerts are firing.
+    /// `503` naming the firing alerts and/or a snapshot retire backlog
+    /// above [`OpsPlane::max_backlog`].
     pub fn health(&self) -> (u16, String) {
+        let mut problems: Vec<String> = Vec::new();
         let firing: Vec<String> = self
             .slo
             .statuses()
@@ -129,11 +181,25 @@ impl OpsPlane {
             .filter(|s| s.firing)
             .map(|s| s.name)
             .collect();
-        if firing.is_empty() {
+        if !firing.is_empty() {
+            problems.push(format!("firing: {}", firing.join(", ")));
+        }
+        if let Some(max) = self.max_backlog {
+            let backlog = self.registry.gauge("engine.snapshot_backlog").get();
+            if backlog > max {
+                problems.push(format!("snapshot backlog {backlog} > {max}"));
+            }
+        }
+        if problems.is_empty() {
             (200, "ok\n".to_string())
         } else {
-            (503, format!("firing: {}\n", firing.join(", ")))
+            (503, format!("{}\n", problems.join("; ")))
         }
+    }
+
+    /// A `/debug/*` hook's document, or `None` when the hook is unset.
+    fn debug_json(&self, hook: &Option<DebugJsonFn>) -> Option<String> {
+        hook.as_ref().map(|f| f())
     }
 }
 
@@ -250,6 +316,17 @@ fn handle(stream: &mut TcpStream, plane: &OpsPlane) -> std::io::Result<()> {
                 let (code, body) = plane.health();
                 (code, "text/plain", body)
             }
+            "/debug/profile" => {
+                (200, "application/json", crate::profile::debug_profile_json())
+            }
+            "/debug/epoch" => match plane.debug_json(&plane.debug.epoch) {
+                Some(body) => (200, "application/json", body),
+                None => (404, "text/plain", "epoch debug hook not wired\n".to_string()),
+            },
+            "/debug/shards" => match plane.debug_json(&plane.debug.shards) {
+                Some(body) => (200, "application/json", body),
+                None => (404, "text/plain", "shards debug hook not wired\n".to_string()),
+            },
             _ => (404, "text/plain", "not found\n".to_string()),
         }
     };
@@ -280,11 +357,11 @@ mod tests {
     use crate::window::WindowConfig;
 
     fn plane_with(rules: Vec<SloRule>, tick_ms: u64) -> OpsPlane {
-        OpsPlane {
-            registry: Arc::new(Registry::new()),
-            window: Arc::new(WindowStore::new(WindowConfig { tick_ms, capacity: 64 })),
-            slo: Arc::new(SloEngine::new(rules)),
-        }
+        OpsPlane::new(
+            Arc::new(Registry::new()),
+            Arc::new(WindowStore::new(WindowConfig { tick_ms, capacity: 64 })),
+            Arc::new(SloEngine::new(rules)),
+        )
     }
 
     fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -380,6 +457,49 @@ mod tests {
         let (status, body) = http_get(server.local_addr(), "/metrics");
         assert_eq!(status, 200);
         assert!(body.contains("xar_rolling"), "{body}");
+    }
+
+    #[test]
+    fn debug_routes_serve_json_or_404_when_unwired() {
+        let mut plane = plane_with(Vec::new(), 10_000);
+        let server = serve("127.0.0.1:0", plane.clone()).expect("bind");
+        let addr = server.local_addr();
+        // Built-in: the profile route always answers.
+        let (status, body) = http_get(addr, "/debug/profile");
+        assert_eq!(status, 200);
+        assert!(crate::json::parse(&body).is_ok(), "{body}");
+        // Unwired hooks are a clean 404, not a panic.
+        let (status, _) = http_get(addr, "/debug/epoch");
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/debug/shards");
+        assert_eq!(status, 404);
+        drop(server);
+        // Wired hooks serve whatever the embedder produces.
+        plane.debug.epoch = Some(Arc::new(|| "{\"epoch\":7}".to_string()));
+        plane.debug.shards = Some(Arc::new(|| "{\"shards\":[]}".to_string()));
+        let server = serve("127.0.0.1:0", plane).expect("bind");
+        let (status, body) = http_get(server.local_addr(), "/debug/epoch");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"epoch\":7}");
+        let (status, body) = http_get(server.local_addr(), "/debug/shards");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"shards\":[]}");
+    }
+
+    #[test]
+    fn health_goes_503_when_snapshot_backlog_exceeds_threshold() {
+        let mut plane = plane_with(Vec::new(), 10_000);
+        plane.max_backlog = Some(2);
+        plane.registry.gauge("engine.snapshot_backlog").set(1);
+        let (status, _) = plane.health();
+        assert_eq!(status, 200, "backlog at or under the threshold is healthy");
+        plane.registry.gauge("engine.snapshot_backlog").set(3);
+        let (status, body) = plane.health();
+        assert_eq!(status, 503);
+        assert!(body.contains("snapshot backlog 3 > 2"), "{body}");
+        // No threshold configured: any backlog is tolerated.
+        plane.max_backlog = None;
+        assert_eq!(plane.health().0, 200);
     }
 
     #[test]

@@ -455,6 +455,7 @@ impl Recorder {
                 tid,
             });
             *slot = Some(active);
+            crate::profile::span_stack_push(name);
             RootSpan { armed: true, attrs: AttrList::new() }
         })
     }
@@ -500,6 +501,7 @@ impl Recorder {
                 tid,
             });
             *slot = Some(active);
+            crate::profile::span_stack_push(name);
             RootSpan { armed: true, attrs: AttrList::new() }
         })
     }
@@ -519,6 +521,7 @@ impl Recorder {
                 return Span { armed: false, name, attrs: AttrList::new() };
             }
             active.begin_child(name);
+            crate::profile::span_stack_push(name);
             Span { armed: true, name, attrs: AttrList::new() }
         })
     }
@@ -729,6 +732,7 @@ impl Drop for RootSpan {
         if !self.armed {
             return;
         }
+        crate::profile::span_stack_pop();
         let attrs = self.attrs;
         ACTIVE.with(|a| {
             let Some(mut active) = a.borrow_mut().take() else { return };
@@ -811,6 +815,7 @@ impl Drop for Span {
         if !self.armed {
             return;
         }
+        crate::profile::span_stack_pop();
         let (name, attrs) = (self.name, self.attrs);
         ACTIVE.with(|a| {
             if let Some(active) = a.borrow_mut().as_mut() {

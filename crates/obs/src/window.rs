@@ -359,6 +359,56 @@ mod tests {
     }
 
     #[test]
+    fn labels_gained_mid_run_enter_the_delta_algebra_cleanly() {
+        // A tiered histogram and a labeled counter that do not exist at
+        // tick time 0 — the engine only mints `{tier="t2"}` once a deep
+        // search happens. The window algebra must (a) treat the first
+        // observation as a delta from zero, not from garbage, (b) keep
+        // rolling windows that predate the series' birth well-formed,
+        // and (c) keep per-label windows independent afterwards.
+        let reg = Registry::new();
+        let w = store(8);
+        reg.counter_with("req", &[("outcome", "booked")]).add(3);
+        w.tick(&reg); // tick 1: only the booked label exists
+        w.tick(&reg); // tick 2: still quiet
+
+        // Mid-run, new labels appear with history already on the ring.
+        reg.counter_with("req", &[("outcome", "created")]).add(7);
+        reg.histogram_with("search_ns", &[("tier", "t2")]).record(500);
+        w.tick(&reg); // tick 3: first sight of both
+
+        // First delta is the full value (prev = 0)…
+        let created = w.rolling("req{outcome=\"created\"}", 1).unwrap();
+        assert_eq!(created.kind, RollingKind::Counter { delta: 7, rate_per_s: 7.0 });
+        // …and a window reaching back before the birth tick sums only
+        // the ticks where the series existed, over the full window time
+        // (the rate is genuinely diluted, not NaN or inflated).
+        let created = w.rolling("req{outcome=\"created\"}", 3).unwrap();
+        assert_eq!(created.ticks, 3);
+        let RollingKind::Counter { delta, rate_per_s } = created.kind else { panic!() };
+        assert_eq!(delta, 7);
+        assert!((rate_per_s - 7.0 / 3.0).abs() < 1e-9);
+
+        let deep = w.rolling("search_ns{tier=\"t2\"}", 8).unwrap();
+        let RollingKind::Hist { snap, .. } = deep.kind else { panic!("{deep:?}") };
+        assert_eq!(snap.count, 1, "histogram born mid-run starts from zero");
+
+        // The pre-existing label's window is untouched by the newcomers:
+        // no activity since tick 1 means a zero delta over recent ticks.
+        let booked = w.rolling("req{outcome=\"booked\"}", 2).unwrap();
+        assert_eq!(booked.kind, RollingKind::Counter { delta: 0, rate_per_s: 0.0 });
+        reg.counter_with("req", &[("outcome", "created")]).add(2);
+        w.tick(&reg); // tick 4
+        let created = w.rolling("req{outcome=\"created\"}", 1).unwrap();
+        assert_eq!(created.kind, RollingKind::Counter { delta: 2, rate_per_s: 2.0 });
+        let booked = w.rolling("req{outcome=\"booked\"}", 4).unwrap();
+        let RollingKind::Counter { delta, .. } = booked.kind else { panic!() };
+        assert_eq!(delta, 3, "only tick 1's +3, independent of the created label");
+
+        assert_eq!(w.series_names().len(), 3);
+    }
+
+    #[test]
     fn ticks_for_ms_rounds_up_and_clamps() {
         let w = WindowStore::new(WindowConfig { tick_ms: 250, capacity: 64 });
         assert_eq!(w.ticks_for_ms(1_000), 4);

@@ -10,21 +10,31 @@
 //! test's allocations are counted).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-struct CountingAlloc {
-    allocs: AtomicU64,
+thread_local! {
+    /// Allocations made by *this* thread. The counter must be
+    /// per-thread: the libtest harness's main thread allocates
+    /// concurrently with the test thread (timers, bookkeeping), so a
+    /// process-global count is flaky by construction. `Cell<u64>` is
+    /// const-initialised and has no destructor, so the hook itself
+    /// never allocates or touches TLS teardown.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
-static ALLOCS: CountingAlloc = CountingAlloc { allocs: AtomicU64::new(0) };
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+struct CountingAlloc;
 
 #[global_allocator]
-static GLOBAL: &CountingAlloc = &ALLOCS;
+static GLOBAL: CountingAlloc = CountingAlloc;
 
-unsafe impl GlobalAlloc for &'static CountingAlloc {
+unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocs.fetch_add(1, Ordering::Relaxed);
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -46,7 +56,7 @@ fn labeled_lookup_after_setup_is_allocation_free() {
 
     // Steady state: lookups with an equal label set (either pair
     // order) and recording through held handles never allocate.
-    let before = ALLOCS.allocs.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for i in 0..ITERS {
         let h = if i % 2 == 0 {
             reg.histogram_with("ops.search_ns", &[("tier", "t2"), ("cluster", "b5")])
@@ -63,7 +73,7 @@ fn labeled_lookup_after_setup_is_allocation_free() {
         handle.record(i);
         counter.inc();
     }
-    let after = ALLOCS.allocs.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,

@@ -14,23 +14,32 @@
 //! (unit tests elsewhere enable private recorders only).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// System allocator with an allocation counter bolted on.
-struct CountingAlloc {
-    allocs: AtomicU64,
+thread_local! {
+    /// Allocations made by *this* thread. Per-thread because the
+    /// libtest harness's main thread allocates concurrently with the
+    /// test thread; a process-global count is flaky by construction.
+    /// `Cell<u64>` is const-initialised with no destructor, so the
+    /// hook never allocates or touches TLS teardown.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
-static ALLOCS: CountingAlloc = CountingAlloc { allocs: AtomicU64::new(0) };
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// System allocator with a per-thread allocation counter bolted on.
+struct CountingAlloc;
 
 #[global_allocator]
-static GLOBAL: &CountingAlloc = &ALLOCS;
+static GLOBAL: CountingAlloc = CountingAlloc;
 
-unsafe impl GlobalAlloc for &'static CountingAlloc {
+unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocs.fetch_add(1, Ordering::Relaxed);
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -61,7 +70,7 @@ fn disabled_path_is_allocation_free_and_cheap() {
     let empty_ns = t0.elapsed().as_nanos().max(1) as u64;
 
     // 1M disabled spans + instants: zero allocations.
-    let before = ALLOCS.allocs.load(Ordering::Relaxed);
+    let before = thread_allocs();
     let t0 = Instant::now();
     for i in 0..ITERS {
         let s = xar_obs::trace::span("bench");
@@ -72,7 +81,7 @@ fn disabled_path_is_allocation_free_and_cheap() {
     for _ in 0..ITERS {
         xar_obs::trace::instant("bench", xar_obs::AttrList::new());
     }
-    let after = ALLOCS.allocs.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,

@@ -1,0 +1,154 @@
+//! Overhead guard for the allocation profiler (ISSUE 7 acceptance).
+//!
+//! The whole process runs under [`xar_obs::profile::ProfilingAlloc`]
+//! (as the `xar` binary does), wrapped in a counting allocator. The
+//! contract: with profiling **off** — the startup state — the hook is
+//! one relaxed atomic load per allocation and a disabled `trace::span`
+//! stays a relaxed load plus a branch, so a span-heavy loop performs
+//! **zero** heap allocations and costs well under 50 ns per span in
+//! release builds. With profiling **on**, attribution itself is
+//! allocation-free (static atomic table + thread-local frame stack)
+//! and lands bytes on the innermost open span.
+//!
+//! Own integration binary: the `#[global_allocator]` and the global
+//! recorder state must not leak into other tests.
+
+use std::alloc::{GlobalAlloc, Layout};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use xar_obs::profile::ProfilingAlloc;
+
+thread_local! {
+    /// Allocations made by *this* thread. Per-thread because the
+    /// libtest harness's main thread allocates concurrently with the
+    /// test thread; a process-global count is flaky by construction.
+    /// `Cell<u64>` is const-initialised with no destructor, so the
+    /// hook never allocates or touches TLS teardown.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// The profiling allocator with a per-thread allocation counter bolted
+/// on top, exactly as deployed in the `xar` binary (modulo the counter).
+struct CountingProfilingAlloc {
+    inner: ProfilingAlloc,
+}
+
+#[global_allocator]
+static GLOBAL: CountingProfilingAlloc =
+    CountingProfilingAlloc { inner: ProfilingAlloc::system() };
+
+unsafe impl GlobalAlloc for CountingProfilingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { self.inner.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { self.inner.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { self.inner.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Tests share the process-global recorder and alloc table.
+static GATE: Mutex<()> = Mutex::new(());
+
+const ITERS: u64 = 1_000_000;
+
+#[test]
+fn disabled_path_adds_zero_allocations_and_stays_cheap() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(!xar_obs::trace::recorder().enabled(), "recorder must start disabled");
+    assert!(!xar_obs::profile::alloc_profiling_enabled(), "profiling must start disabled");
+
+    // Warm up once: thread-local init may allocate.
+    {
+        let _s = xar_obs::trace::span("warmup");
+        black_box(Box::new(1u8));
+    }
+
+    // Baseline: empty black_box loop.
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        black_box(i);
+    }
+    let empty_ns = t0.elapsed().as_nanos().max(1) as u64;
+
+    let before = thread_allocs();
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        let s = xar_obs::trace::span("bench");
+        black_box(&s);
+        black_box(i);
+    }
+    let span_ns = t0.elapsed().as_nanos().max(1) as u64;
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled profiling span loop allocated {} times over {ITERS} spans",
+        after - before,
+    );
+
+    let per_span = span_ns / ITERS;
+    // The hard acceptance bound is a release-build property; debug
+    // builds don't inline the disabled check, so there the guard is a
+    // loose multiple of the empty loop (same shape as tests/overhead.rs).
+    if cfg!(debug_assertions) {
+        assert!(
+            span_ns < empty_ns.saturating_mul(400),
+            "disabled span loop took {span_ns} ns vs empty loop {empty_ns} ns (> 400x)",
+        );
+    } else {
+        assert!(per_span < 50, "disabled span costs {per_span} ns, acceptance bound is 50 ns");
+    }
+}
+
+#[test]
+fn enabled_attribution_is_allocation_free_and_lands_on_innermost_span() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let rec = xar_obs::trace::recorder();
+    rec.configure(xar_obs::TraceConfig::keep_all());
+    rec.set_enabled(true);
+    xar_obs::profile::reset_alloc_profile();
+    xar_obs::profile::set_alloc_profiling(true);
+
+    {
+        let _root = xar_obs::trace::root("outer_phase");
+        {
+            let _inner = xar_obs::trace::span("inner_phase");
+            // One clearly-attributable allocation inside the innermost
+            // span. The *hook* must not allocate while recording it:
+            // exactly one allocation total.
+            let before = thread_allocs();
+            black_box(vec![7u8; 4096]);
+            let after = thread_allocs();
+            assert_eq!(after - before, 1, "attribution hook itself allocated");
+        }
+    }
+
+    xar_obs::profile::set_alloc_profiling(false);
+    rec.set_enabled(false);
+    let by_span = xar_obs::profile::alloc_profile();
+    let inner = by_span
+        .iter()
+        .find(|a| a.name == "inner_phase")
+        .expect("inner_phase attributed");
+    assert!(inner.bytes >= 4096, "inner_phase got {} bytes", inner.bytes);
+    assert!(inner.allocs >= 1);
+    assert!(
+        !by_span.iter().any(|a| a.name == "outer_phase" && a.bytes >= 4096),
+        "the 4096-byte block must land on the innermost span, not the outer: {by_span:?}",
+    );
+    xar_obs::profile::reset_alloc_profile();
+}

@@ -197,6 +197,7 @@ pub fn run_simulation<B: RideBackend>(
 
         // Extra "look" searches (high look-to-book scenarios, Fig. 5b).
         for _ in 0..cfg.lookups_per_request {
+            let _phase = xar_obs::trace::span("sim.search");
             let t0 = Instant::now();
             let _ = backend.search(trip, cfg);
             let ns = t0.elapsed().as_nanos() as u64;
@@ -205,6 +206,7 @@ pub fn run_simulation<B: RideBackend>(
             report.looks += 1;
         }
 
+        let phase = xar_obs::trace::span("sim.search");
         let t0 = Instant::now();
         let matches = backend.search(trip, cfg);
         let ns = t0.elapsed().as_nanos() as u64;
@@ -212,6 +214,7 @@ pub fn run_simulation<B: RideBackend>(
         search_h.record(ns);
         report.looks += 1;
         report.matches_returned += matches.len() as u64;
+        drop(phase);
         xar_obs::trace::instant(
             "request.offered",
             AttrList::new().with("matches", matches.len()),
@@ -219,6 +222,7 @@ pub fn run_simulation<B: RideBackend>(
 
         let mut booked = false;
         for m in &matches {
+            let _phase = xar_obs::trace::span("sim.book");
             let t0 = Instant::now();
             let res = backend.book(m, cfg);
             let ns = t0.elapsed().as_nanos() as u64;
@@ -260,6 +264,7 @@ pub fn run_simulation<B: RideBackend>(
             xar_obs::trace::instant("request.rejected", AttrList::new().with("stale", 1u64));
         }
         if !booked {
+            let _phase = xar_obs::trace::span("sim.create");
             let t0 = Instant::now();
             let ok = backend.create(trip, cfg);
             let ns = t0.elapsed().as_nanos() as u64;

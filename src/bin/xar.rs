@@ -62,19 +62,35 @@
 //! xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]
 //!     Live terminal dashboard over a process started with
 //!     `xar simulate --serve ADDR`: scrapes `/metrics`, renders rolling
-//!     p50/p99/throughput, per-cluster ride occupancy and firing SLO
-//!     alerts. `--frames N` exits after N refreshes (CI); `--plain`
-//!     skips the ANSI screen clearing.
+//!     p50/p99/throughput, per-cluster ride occupancy, the snapshot
+//!     publication plane (publishes / freed / retire backlog), tail
+//!     latency exemplars (trace ids of the slowest recent requests)
+//!     and firing SLO alerts. `--frames N` exits after N refreshes
+//!     (CI); `--plain` skips the ANSI screen clearing.
+//!
+//! xar profile --out FILE [--format collapsed|speedscope] [--alloc]
+//!             [--rows N] [--cols N] [--seed S] [--trips N] [--top N]
+//!     Continuous-profiling artifact: run an in-process simulation with
+//!     the flight recorder keeping every trace, fold the span trees
+//!     into a hierarchical self/total-time profile, and write it as
+//!     collapsed stacks (flamegraph.pl / inferno) or speedscope JSON.
+//!     The written artifact is re-parsed with the in-repo reader before
+//!     the command reports success. `--alloc` additionally attributes
+//!     heap bytes/allocations to the innermost open span and prints the
+//!     per-span table. A top-N self-time summary is always printed.
 //! ```
 //!
 //! Live operational flags on `simulate`: `--serve ADDR` starts the
-//! embedded ops-plane HTTP server (`/metrics`, `/snapshot`, `/health`,
-//! `/alerts`; `ADDR` may use port 0 — the bound address is printed);
-//! `--slo RULE` (repeatable) installs burn-rate SLO rules (syntax in
-//! EXPERIMENTS.md); `--slo-fail` exits with code 8 when any rule fired
-//! during the run; `--tick-ms N` sets the windowing tick;
-//! `--linger-s F` keeps the process (and server) alive after the
-//! simulation so scrapers can observe the final state.
+//! embedded ops-plane HTTP server (`/metrics` with OpenMetrics latency
+//! exemplars, `/snapshot`, `/health`, `/alerts`, `/debug/profile`,
+//! `/debug/epoch`, `/debug/shards`; `ADDR` may use port 0 — the bound
+//! address is printed); `--slo RULE` (repeatable) installs burn-rate
+//! SLO rules (syntax in EXPERIMENTS.md); `--slo-fail` exits with code 8
+//! when any rule fired during the run; `--tick-ms N` sets the windowing
+//! tick; `--linger-s F` keeps the process (and server) alive after the
+//! simulation so scrapers can observe the final state; `--max-backlog N`
+//! turns `/health` 503 while the snapshot retire backlog exceeds `N`
+//! and exits with code 10 when it still does at the end of the run.
 
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
@@ -100,7 +116,15 @@ use xhare_a_ride::workload::{
 };
 
 /// Flags that take no value (presence alone means `true`).
-const SWITCHES: &[&str] = &["check", "slo-fail", "plain", "search"];
+const SWITCHES: &[&str] = &["check", "slo-fail", "plain", "search", "alloc"];
+
+/// Global allocator: the profiling pass-through. When `xar profile
+/// --alloc` is off (the default, and every other subcommand) the hook
+/// is one relaxed atomic load per allocation — the disabled-path cost
+/// is pinned to zero extra allocations by `crates/obs/tests/
+/// profile_overhead.rs`.
+#[global_allocator]
+static GLOBAL_ALLOC: xar_obs::profile::ProfilingAlloc = xar_obs::profile::ProfilingAlloc::system();
 
 /// A command error carrying its process exit code, so callers (CI, the
 /// smoke tests) can branch on the failure class.
@@ -179,7 +203,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -358,6 +382,12 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
     let slo_fail = flags.switch("slo-fail");
     let tick_ms: u64 = flags.get("tick-ms", 1_000)?;
     let linger_s: f64 = flags.get("linger-s", 0.0)?;
+    let max_backlog: Option<i64> = match flags.get_opt("max-backlog") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| {
+            CmdError::general(format!("invalid value '{v}' for --max-backlog"))
+        })?),
+    };
     if tick_ms == 0 {
         return Err(CmdError::general("--tick-ms must be positive"));
     }
@@ -372,11 +402,21 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
         };
         // Ring capacity: enough ticks to cover the 60 s rolling window.
         let capacity = (60_000_u64.div_ceil(tick_ms) as usize + 1).clamp(8, 4_096);
-        Some(OpsPlane {
+        let mut plane = OpsPlane::new(
             registry,
-            window: Arc::new(WindowStore::new(WindowConfig { tick_ms, capacity })),
-            slo: Arc::new(SloEngine::new(rules)),
-        })
+            Arc::new(WindowStore::new(WindowConfig { tick_ms, capacity })),
+            Arc::new(SloEngine::new(rules)),
+        );
+        plane.max_backlog = max_backlog;
+        // Live debug introspection: the epoch domain is process-global;
+        // the shard map exists only on the parallel driver.
+        plane.debug.epoch =
+            Some(Arc::new(|| xhare_a_ride::core::snapshot::epoch_debug().to_json()));
+        if let SimUnderTest::Parallel(b) = &sim {
+            let engine = b.engine.clone();
+            plane.debug.shards = Some(Arc::new(move || engine.shard_debug_json()));
+        }
+        Some(plane)
     } else {
         None
     };
@@ -521,6 +561,23 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
             }
         } else if !plane.slo.rules().is_empty() {
             println!("slo fired      : none");
+        }
+    }
+    if let Some(max) = max_backlog {
+        let registry = match &sim {
+            SimUnderTest::Serial(b) => b.engine.metrics().registry(),
+            SimUnderTest::Parallel(b) => b.engine.registry(),
+        };
+        let backlog = registry.gauge("engine.snapshot_backlog").get();
+        println!("backlog gate   : {backlog} retired snapshot(s) pending (gate {max})");
+        if backlog > max {
+            return Err(CmdError::coded(
+                10,
+                format!(
+                    "snapshot retire backlog {backlog} exceeds --max-backlog {max} — \
+                     a reader is stuck pinned to an old epoch"
+                ),
+            ));
         }
     }
     Ok(())
@@ -851,6 +908,115 @@ fn trace_cmd(flags: &Flags) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// `xar profile`: run an in-process simulation with the flight recorder
+/// keeping every trace, fold the recorded span trees into a
+/// hierarchical self/total-time profile, and write a flamegraph
+/// artifact (collapsed stacks or speedscope JSON). The written file is
+/// re-parsed with the in-repo reader and its total self-time compared
+/// against the in-memory profile before success is reported — CI greps
+/// the `validated` line.
+fn profile_cmd(flags: &Flags) -> Result<(), CmdError> {
+    let out = flags.require("out")?.to_string();
+    let format = flags.get_opt("format").unwrap_or("collapsed").to_string();
+    if format != "collapsed" && format != "speedscope" {
+        return Err(CmdError::general(format!(
+            "unknown --format '{format}' (expected 'collapsed' or 'speedscope')"
+        )));
+    }
+    let rows: usize = flags.get("rows", 24)?;
+    let cols: usize = flags.get("cols", 24)?;
+    let seed: u64 = flags.get("seed", 0x9F0F)?;
+    let trips_n: usize = flags.get("trips", 2_000)?;
+    let top: usize = flags.get("top", 10)?;
+    let alloc = flags.switch("alloc");
+
+    // Keep every trace: the profile wants the whole run, not the
+    // tail-sampled slice the flight recorder defaults to.
+    let rec = xar_obs::trace::recorder();
+    rec.configure(TraceConfig::keep_all());
+    rec.set_enabled(true);
+    if alloc {
+        xar_obs::profile::reset_alloc_profile();
+        xar_obs::profile::set_alloc_profiling(true);
+    }
+
+    eprintln!("profile city: {rows}x{cols} (seed {seed}), {trips_n} trips");
+    let graph = Arc::new(CityConfig::manhattan(rows, cols, seed).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: rows * cols / 2, ..Default::default() });
+    let region = Arc::new(RegionIndex::build(
+        Arc::clone(&graph),
+        &pois,
+        RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+    ));
+    let trips =
+        generate_trips(&graph, &TripGenConfig { count: trips_n, seed, ..Default::default() });
+    let mut backend =
+        XarBackend::new(XarEngine::new(Arc::clone(&region), EngineConfig::default()));
+    let report = run_simulation(&mut backend, &trips, &SimConfig::default());
+
+    if alloc {
+        xar_obs::profile::set_alloc_profiling(false);
+    }
+    rec.set_enabled(false);
+    let profile = xar_obs::profile::Profile::from_snapshot(&rec.snapshot());
+    if profile.spans == 0 {
+        return Err(CmdError::general("the run recorded no spans — nothing to profile"));
+    }
+    println!("simulated      : {} trips ({} booked, {} created)", trips.len(), report.booked, report.created);
+
+    let doc = if format == "collapsed" {
+        profile.to_collapsed()
+    } else {
+        profile.to_speedscope()
+    };
+    std::fs::write(&out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "profile        : {out} ({format}, {} traces, {} spans, {:.1} ms total)",
+        profile.traces,
+        profile.spans,
+        profile.total_ns() as f64 / 1e6,
+    );
+
+    // Self-validation: what we just wrote must round-trip through the
+    // in-repo parser and reconstruct the same total self-time.
+    let entries = if format == "collapsed" {
+        xar_obs::profile::parse_collapsed(&doc)
+    } else {
+        xar_obs::profile::parse_speedscope(&doc)
+    }
+    .map_err(|e| CmdError::general(format!("{out}: written artifact does not re-parse: {e}")))?;
+    let reparsed = xar_obs::profile::Profile::from_entries(&entries);
+    if reparsed.total_ns() != profile.total_ns() {
+        return Err(CmdError::general(format!(
+            "{out}: re-parsed total {} ns != profiled total {} ns",
+            reparsed.total_ns(),
+            profile.total_ns(),
+        )));
+    }
+    println!(
+        "validated      : round-trip ok ({} stacks, {} ns total self-time)",
+        reparsed.collapsed_entries().len(),
+        reparsed.total_ns(),
+    );
+
+    println!("\n{:<28} {:>12} {:>10}", "span (self-time)", "self ms", "count");
+    for (name, self_ns, count) in profile.top_self(top) {
+        println!("{:<28} {:>12.2} {:>10}", name, self_ns as f64 / 1e6, count);
+    }
+
+    if alloc {
+        let by_span = xar_obs::profile::alloc_profile();
+        println!("\n{:<28} {:>14} {:>12}", "span (allocations)", "bytes", "allocs");
+        for a in by_span.iter().take(top) {
+            println!("{:<28} {:>14} {:>12}", a.name, a.bytes, a.allocs);
+        }
+        if by_span.is_empty() {
+            println!("(no allocations attributed — allocator hook saw no traffic)");
+        }
+    }
+    Ok(())
+}
+
 /// One HTTP GET over a plain `TcpStream` (the dashboard needs no HTTP
 /// client). Returns the response body; errors on any non-200 status.
 fn http_get(addr: &str, path: &str) -> Result<String, String> {
@@ -947,6 +1113,51 @@ fn render_top_frame(p: &xar_obs::promtext::PromText) -> String {
         }
     }
 
+    // Snapshot-publication plane: write-path cost of the lock-free
+    // search path, plus the epoch-reclamation backlog.
+    let metric = |n: &str| {
+        p.with_name(n)
+            .find(|s| s.labels.is_empty())
+            .map(|s| s.value)
+    };
+    if let Some(publishes) = metric("engine_snapshot_publishes") {
+        let freed = metric("engine_snapshot_retired_freed").unwrap_or(0.0);
+        let backlog = metric("engine_snapshot_backlog").unwrap_or(0.0);
+        let p99 = p
+            .find("engine_snapshot_publish_ns", &[("quantile", "0.99")])
+            .map(|s| s.value)
+            .unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "\nsnapshots: published {publishes:.0}   freed {freed:.0}   backlog {backlog:.0}   publish p99 {:.1} µs",
+            p99 / 1e3,
+        );
+    }
+
+    // Tail exemplars: trace ids of the slowest recent samples, straight
+    // from the OpenMetrics `# {trace_id=...}` annotations.
+    let mut exemplars: Vec<(String, String, f64)> = p
+        .samples
+        .iter()
+        .filter_map(|s| {
+            let e = s.exemplar.as_ref()?;
+            let trace = e.trace_id()?.to_string();
+            let mut series = s.name.clone();
+            if let Some(tier) = s.label("tier") {
+                series.push_str(&format!("{{tier={tier}}}"));
+            }
+            Some((series, trace, e.value))
+        })
+        .collect();
+    exemplars.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    exemplars.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    if !exemplars.is_empty() {
+        out.push_str("\nslow exemplars:\n");
+        for (series, trace, value) in exemplars.iter().take(6) {
+            let _ = writeln!(out, "  {series:<40} trace {trace:<20} {:.1} µs", value / 1e3);
+        }
+    }
+
     // Per-cluster live-ride occupancy.
     let mut occ: Vec<(String, f64)> = p
         .with_name("engine_cluster_rides")
@@ -1032,6 +1243,7 @@ fn main() -> ExitCode {
         "bench" => bench(&flags),
         "trace" => trace_cmd(&flags),
         "top" => top_cmd(&flags),
+        "profile" => profile_cmd(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -4,7 +4,7 @@
 //! JSON, 3 = trace with no complete request timeline, 4 = trace
 //! missing the drop counter, 7 = `bench` capacity/scaling gate,
 //! 8 = `--slo-fail` with a fired SLO, 9 = invalid `--threads` /
-//! `--shards` value.
+//! `--shards` value, 10 = `--max-backlog` snapshot retire-backlog gate.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -200,4 +200,81 @@ fn top_renders_one_plain_frame_from_a_served_simulation() {
     assert!(ok, "no rolling data ever appeared:\n{frame}");
     assert!(frame.contains("requests:"), "{frame}");
     assert!(!frame.contains('\x1b'), "--plain must not emit ANSI escapes: {frame}");
+}
+
+#[test]
+fn simulate_max_backlog_gate_exits_10() {
+    let dir = scratch("backlog_gate");
+    let region = dir.join("region.xarr");
+    let out = xar(&[
+        "build-region", "--rows", "14", "--cols", "14", "--seed", "3", "--clusters", "10",
+        "--out", region.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "build-region failed: {out:?}");
+
+    // A healthy run drains its backlog to 0 by exit, so any sane gate
+    // passes…
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--trips", "200",
+        "--max-backlog", "64",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("backlog gate   :"), "{stdout}");
+
+    // …and an impossible gate (-1 < the drained backlog of 0) pins the
+    // exit code deterministically without needing a stuck reader.
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--trips", "200",
+        "--max-backlog", "-1",
+    ]);
+    assert_eq!(code(&out), 10, "{out:?}");
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("exceeds --max-backlog"), "{msg}");
+
+    // Unparseable gate value is a generic CLI error, not code 10.
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--max-backlog", "soon",
+    ]);
+    assert_eq!(code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn profile_writes_validated_artifacts_in_both_formats() {
+    let dir = scratch("profile_cli");
+
+    // Collapsed stacks: the command must self-validate (re-parse its
+    // own artifact) and say so.
+    let collapsed = dir.join("xar.collapsed");
+    let out = xar(&[
+        "profile", "--out", collapsed.to_str().unwrap(), "--rows", "14", "--cols", "14",
+        "--trips", "300", "--seed", "11",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("validated      : round-trip ok"), "{stdout}");
+    let text = std::fs::read_to_string(&collapsed).expect("collapsed artifact");
+    // Every line is `frame;frame;... weight` — spot-check the shape and
+    // that engine spans made it into the stacks.
+    assert!(text.lines().all(|l| l.rsplit_once(' ').is_some_and(
+        |(stack, w)| !stack.is_empty() && w.parse::<u64>().is_ok()
+    )), "malformed collapsed output:\n{text}");
+    assert!(text.contains("request;"), "no request root frames:\n{text}");
+
+    // Speedscope JSON, with allocation attribution enabled.
+    let speedscope = dir.join("xar.speedscope.json");
+    let out = xar(&[
+        "profile", "--out", speedscope.to_str().unwrap(), "--format", "speedscope",
+        "--alloc", "--rows", "14", "--cols", "14", "--trips", "300", "--seed", "11",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("validated      : round-trip ok"), "{stdout}");
+    assert!(stdout.contains("span (allocations)"), "{stdout}");
+    let json = std::fs::read_to_string(&speedscope).expect("speedscope artifact");
+    assert!(json.contains("\"$schema\""), "not a speedscope document:\n{json}");
+
+    // An unknown format is rejected before any simulation runs.
+    let out = xar(&["profile", "--out", collapsed.to_str().unwrap(), "--format", "svg"]);
+    assert_eq!(code(&out), 1, "{out:?}");
 }

@@ -1,0 +1,163 @@
+//! Integration test of the live debug/profiling plane (ISSUE 7):
+//! OpenMetrics latency exemplars on `/metrics` under real load, the
+//! `/debug/epoch` and `/debug/shards` introspection routes reflecting
+//! an *induced* epoch-reclamation backlog (a reader held pinned across
+//! snapshot publishes), the `/debug/profile` aggregated span profile,
+//! and `/health` turning 503 while the backlog breaches the threshold.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use xar_obs::serve::{serve, OpsPlane};
+use xar_obs::slo::SloEngine;
+use xar_obs::window::{WindowConfig, WindowStore};
+use xhare_a_ride::core::{snapshot, EngineConfig, RideOffer, RideRequest, ShardedXarEngine};
+use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
+use xhare_a_ride::roadnet::{sample_pois, CityConfig, NodeId, PoiConfig, RoadGraph};
+
+/// Minimal HTTP GET; returns (status_code, body).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to ops server");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|c| c.parse().ok()).expect("status code");
+    (status, body.to_string())
+}
+
+fn offer(graph: &Arc<RoadGraph>, i: u32) -> RideOffer {
+    let n = graph.node_count() as u32;
+    RideOffer::simple(
+        graph.point(NodeId((i * 37) % n)),
+        graph.point(NodeId((i * 61 + n / 2) % n)),
+        8.0 * 3600.0 + f64::from(i) * 60.0,
+        3,
+        3_000.0,
+    )
+}
+
+#[test]
+fn debug_plane_exposes_exemplars_epoch_backlog_and_shard_state() {
+    let graph = Arc::new(CityConfig::manhattan(16, 16, 7).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: 128, ..Default::default() });
+    let region = Arc::new(RegionIndex::build(
+        Arc::clone(&graph),
+        &pois,
+        RegionConfig { cluster_goal: ClusterGoal::FixedCount(12), ..Default::default() },
+    ));
+    let engine = ShardedXarEngine::new(Arc::clone(&region), EngineConfig::default(), 4);
+
+    // Ops plane over the engine's registry, debug hooks wired exactly
+    // as `xar simulate --serve` wires them; huge tick keeps the
+    // background ticker idle (deterministic test).
+    let mut plane = OpsPlane::new(
+        engine.registry(),
+        Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 8 })),
+        Arc::new(SloEngine::new(Vec::new())),
+    );
+    plane.max_backlog = Some(0);
+    plane.debug.epoch = Some(Arc::new(|| snapshot::epoch_debug().to_json()));
+    let hook_engine = engine.clone();
+    plane.debug.shards = Some(Arc::new(move || hook_engine.shard_debug_json()));
+    let server = serve("127.0.0.1:0", plane).expect("bind ops server");
+    let addr = server.local_addr().to_string();
+
+    // --- Load with tracing on: searches under an active trace offer
+    // latency exemplars (trace id of the slowest recent samples).
+    let rec = xar_obs::trace::recorder();
+    rec.configure(xar_obs::TraceConfig::keep_all());
+    rec.set_enabled(true);
+    for i in 0..30 {
+        let _ = engine.create_ride(&offer(&graph, i));
+    }
+    let n = graph.node_count() as u32;
+    let req = RideRequest {
+        source: graph.point(NodeId(n / 2)),
+        destination: graph.point(NodeId(n - 1)),
+        window_start_s: 7.5 * 3600.0,
+        window_end_s: 9.5 * 3600.0,
+        walk_limit_m: 800.0,
+    };
+    for _ in 0..20 {
+        let _root = xar_obs::trace::root("request");
+        let _ = engine.search(&req, 5);
+    }
+    rec.set_enabled(false);
+
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains(" # {trace_id="), "no OpenMetrics exemplar rendered:\n{body}");
+    let parsed = xar_obs::promtext::parse(&body).expect("exposition parses");
+    let exemplar = parsed
+        .samples
+        .iter()
+        .filter_map(|s| s.exemplar.as_ref().map(|e| (s.name.clone(), e.clone())))
+        .next()
+        .expect("at least one parsed exemplar");
+    assert!(exemplar.0.starts_with("engine_search_ns"), "exemplar on {}", exemplar.0);
+    assert!(exemplar.1.trace_id().is_some_and(|t| t.starts_with("0x")));
+
+    // /debug/profile serves the aggregated span profile of the load.
+    let (status, body) = http_get(&addr, "/debug/profile");
+    assert_eq!(status, 200);
+    let doc = xar_obs::json::parse(&body).expect("profile JSON parses");
+    assert!(doc.get("profile").is_some(), "{body}");
+
+    // Healthy before any backlog is induced.
+    let (status, body) = http_get(&addr, "/health");
+    assert_eq!(status, 200, "{body}");
+
+    // --- Induce a retire backlog: hold an epoch pin (a stuck reader)
+    // across snapshot publishes, so retired snapshots cannot be freed.
+    {
+        let _stuck_reader = snapshot::pin();
+        for i in 30..45 {
+            let _ = engine.create_ride(&offer(&graph, i));
+        }
+
+        let (status, body) = http_get(&addr, "/debug/epoch");
+        assert_eq!(status, 200);
+        let doc = xar_obs::json::parse(&body).expect("epoch JSON parses");
+        assert!(
+            doc.get("pinned").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+            "pinned reader not visible: {body}"
+        );
+        assert!(
+            doc.get("stalled").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+            "stalled reader not flagged: {body}"
+        );
+        assert!(doc.get("min_active").and_then(|v| v.as_u64()).is_some(), "{body}");
+
+        let (status, body) = http_get(&addr, "/debug/shards");
+        assert_eq!(status, 200);
+        let doc = xar_obs::json::parse(&body).expect("shards JSON parses");
+        let shards = doc.get("shards").and_then(|v| v.as_array()).expect("shards array");
+        assert_eq!(shards.len(), 4);
+        let backlog: u64 = shards
+            .iter()
+            .map(|s| s.get("retired_backlog").and_then(|v| v.as_u64()).unwrap_or(0))
+            .sum();
+        assert!(backlog >= 1, "no retired backlog while a reader is pinned: {body}");
+        // Publishes kept up with writes (no searchable-state lag).
+        for s in shards {
+            assert_eq!(s.get("publish_lag").and_then(|v| v.as_u64()), Some(0), "{body}");
+        }
+
+        // The backlog gauge breaches --max-backlog 0: health degrades.
+        let (status, body) = http_get(&addr, "/health");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("snapshot backlog"), "{body}");
+    }
+
+    // --- Reader gone: the next publishes reclaim everything.
+    engine.track_all(f64::INFINITY);
+    let (status, body) = http_get(&addr, "/debug/epoch");
+    assert_eq!(status, 200);
+    let doc = xar_obs::json::parse(&body).expect("epoch JSON parses");
+    assert_eq!(doc.get("pinned").and_then(|v| v.as_u64()), Some(0), "{body}");
+    let (status, body) = http_get(&addr, "/health");
+    assert_eq!(status, 200, "backlog must drain once the reader unpins: {body}");
+}

@@ -48,14 +48,14 @@ fn ops_plane_serves_labeled_metrics_rolling_windows_and_alerts() {
 
     // Huge tick so the server's background ticker stays idle and the
     // test drives window time deterministically via plane.tick().
-    let plane = OpsPlane {
+    let plane = OpsPlane::new(
         registry,
-        window: Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 16 })),
-        slo: Arc::new(SloEngine::new(vec![SloRule::parse(
+        Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 16 })),
+        Arc::new(SloEngine::new(vec![SloRule::parse(
             "name=search-lat hist=engine.search_ns max_ms=500 target=0.9 fast=1 slow=1",
         )
         .unwrap()])),
-    };
+    );
     let server = serve("127.0.0.1:0", plane.clone()).expect("bind ops server");
     let addr = server.local_addr().to_string();
 
@@ -136,15 +136,15 @@ fn ops_plane_serves_labeled_metrics_rolling_windows_and_alerts() {
 #[test]
 fn health_turns_503_when_an_impossible_slo_fires() {
     let registry = Arc::new(xar_obs::Registry::new());
-    let plane = OpsPlane {
-        registry: Arc::clone(&registry),
-        window: Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 8 })),
+    let plane = OpsPlane::new(
+        Arc::clone(&registry),
+        Arc::new(WindowStore::new(WindowConfig { tick_ms: 600_000, capacity: 8 })),
         // 1 ns budget at five nines: any recorded sample breaches it.
-        slo: Arc::new(SloEngine::new(vec![SloRule::parse(
+        Arc::new(SloEngine::new(vec![SloRule::parse(
             "name=impossible hist=lat max_ns=1 target=0.99999 fast=1 slow=1 burn=0.5",
         )
         .unwrap()])),
-    };
+    );
     let server = serve("127.0.0.1:0", plane.clone()).expect("bind");
     let addr = server.local_addr().to_string();
 

@@ -43,6 +43,58 @@ pub struct BookingOutcome {
 }
 
 impl XarEngine {
+    /// Re-run the search-time feasibility checks for `m` against the
+    /// *current* ride state, without mutating anything: the ride must
+    /// still exist and be active, have a free seat, not have driven
+    /// past the pick-up segment, and still hold enough detour budget
+    /// for the match's estimate. Returns the first violated condition.
+    ///
+    /// [`XarEngine::book`] performs the first three checks itself; the
+    /// detour-budget check is *stricter* than booking (which honours
+    /// the ε overshoot of an estimate made when the budget still
+    /// covered it — see Figure 3a). Batch dispatchers call this at
+    /// commit time, where the estimate may predate other bookings that
+    /// consumed the budget in between.
+    pub fn validate_match(&self, m: &RideMatch) -> Result<(), XarError> {
+        let ride = self.ride(m.ride).ok_or(XarError::UnknownRide(m.ride))?;
+        if ride.status != RideStatus::Active {
+            return Err(XarError::UnknownRide(m.ride));
+        }
+        if ride.seats_available == 0 {
+            return Err(XarError::NoSeats(m.ride));
+        }
+        let n_seg = ride.via_points.len() - 1;
+        let (pickup_seg, dropoff_seg) =
+            (m.pickup_seg.min(n_seg - 1), m.dropoff_seg.min(n_seg - 1));
+        if pickup_seg > dropoff_seg {
+            return Err(XarError::InvalidRequest("pick-up segment after drop-off segment"));
+        }
+        if ride.progress_idx > ride.via_points[pickup_seg + 1].route_idx {
+            return Err(XarError::AlreadyPassed(m.ride));
+        }
+        let remaining = ride.detour_remaining_m();
+        if m.detour_est_m > remaining {
+            return Err(XarError::DetourExceeded {
+                ride: m.ride,
+                needed_m: m.detour_est_m,
+                remaining_m: remaining,
+            });
+        }
+        Ok(())
+    }
+
+    /// **Book** with a speculative-feasibility re-check first
+    /// ([`XarEngine::validate_match`]): the match is rejected — before
+    /// any route work — when the ride state it was searched against no
+    /// longer holds, including the case booking itself would honour
+    /// where the remaining detour budget has shrunk below the
+    /// estimate. The entry point for commit stages that held the match
+    /// across a batch window.
+    pub fn book_checked(&mut self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
+        self.validate_match(m)?;
+        self.book(m)
+    }
+
     /// **Book** a match previously returned by [`XarEngine::search`].
     ///
     /// Fails if the ride is gone, full, has driven past the pick-up

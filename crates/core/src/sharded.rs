@@ -523,6 +523,22 @@ impl ShardedXarEngine {
         res
     }
 
+    /// **Book** with a commit-time feasibility re-check
+    /// ([`XarEngine::validate_match`]): seats, progress *and* detour
+    /// budget are re-validated against the live ride state under the
+    /// owning shard's write lock, so the check and the booking are one
+    /// atomic step — no other writer can invalidate the match between
+    /// them. This is the entry point for batch dispatchers, whose
+    /// matches come from a lock-free snapshot taken up to a window
+    /// earlier and may have gone stale behind the searcher's back.
+    pub fn book_checked(&self, m: &RideMatch) -> Result<BookingOutcome, XarError> {
+        let shard = self.shard_of_ride(m.ride);
+        let (mut guard, _hold) = self.write_shard(shard);
+        let res = guard.book_checked(m);
+        self.publish_shard(shard, &guard);
+        res
+    }
+
     /// **Track** one ride: one write lock on its owning shard, plus a
     /// snapshot republish when the track retired the ride or rewrote
     /// index entries (pure progress advances skip it).

@@ -4,8 +4,24 @@ use xar_core::{RideMatch, RideOffer, RideRequest, XarEngine};
 use xar_tshare::engine::{TShareMatch, TShareRequest};
 use xar_tshare::TShareEngine;
 
+use crate::dispatch::Candidate;
 use crate::sim::{BookResult, RideBackend, SimConfig};
 use crate::trips::Trip;
+
+/// [`BookResult`] from a core-engine booking outcome.
+fn book_result(res: Result<xar_core::BookingOutcome, xar_core::XarError>) -> BookResult {
+    match res {
+        Ok(out) => BookResult::Booked {
+            actual_detour_m: out.actual_detour_m,
+            estimated_detour_m: out.estimated_detour_m,
+            walk_m: out.walk_total_m,
+            budget_before_m: out.detour_budget_before_m,
+            pickup_eta_s: out.pickup_eta_s,
+            dropoff_eta_s: out.dropoff_eta_s,
+        },
+        Err(_) => BookResult::Failed,
+    }
+}
 
 /// XAR under simulation.
 pub struct XarBackend {
@@ -39,17 +55,18 @@ impl RideBackend for XarBackend {
     }
 
     fn book(&mut self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
-        match self.engine.book(m) {
-            Ok(out) => BookResult::Booked {
-                actual_detour_m: out.actual_detour_m,
-                estimated_detour_m: out.estimated_detour_m,
-                walk_m: out.walk_total_m,
-                budget_before_m: out.detour_budget_before_m,
-                pickup_eta_s: out.pickup_eta_s,
-                dropoff_eta_s: out.dropoff_eta_s,
-            },
-            Err(_) => BookResult::Failed,
-        }
+        book_result(self.engine.book(m))
+    }
+
+    fn book_checked(&mut self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
+        book_result(self.engine.book_checked(m))
+    }
+
+    fn describe(m: &RideMatch) -> Candidate {
+        // Score = combined rider walking: the paper's assignment
+        // objective ("the ride that incurs least walking ... is
+        // matched"), also the engine's primary sort key.
+        Candidate { ride: m.ride.0, score: m.walk_total_m(), detour_m: m.detour_est_m }
     }
 
     fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
@@ -115,6 +132,16 @@ impl RideBackend for TShareBackend {
             },
             None => BookResult::Failed,
         }
+    }
+
+    // `book_checked` stays the default (`book`): T-Share's `book`
+    // re-validates the taxi's schedule at insertion time, so there is
+    // no stale-candidate window to close.
+
+    fn describe(m: &TShareMatch) -> Candidate {
+        // T-Share has no rider walking; the detour it inflicts on the
+        // taxi is the assignment cost.
+        Candidate { ride: m.taxi.0, score: m.detour_m, detour_m: m.detour_m }
     }
 
     fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {

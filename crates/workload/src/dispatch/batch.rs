@@ -1,0 +1,325 @@
+//! Batch-window assignment: jointly assign a window of requests to
+//! rides by score, then improve the assignment with local search.
+//!
+//! The window's candidate edges form a bipartite graph between
+//! requests and rides; each ride can absorb at most `ride_capacity`
+//! requests per window (an optimistic seat bound — the commit stage
+//! re-checks the live count). Assignment runs in two phases:
+//!
+//! 1. **Greedy seeding** — all edges sorted by score (ties broken by
+//!    request index then candidate rank), each taken when its request
+//!    is unassigned and its ride has spare window capacity. This is
+//!    the classic greedy matching, a ½-approximation of the
+//!    maximum-score matching.
+//! 2. **Improvement loop** — alternating *eject–reinsert* passes
+//!    (place an unassigned request by relocating the cheapest-to-move
+//!    current assignee of one of its rides) and *2-swap* passes
+//!    (exchange the rides of two assigned requests when the swapped
+//!    total score is strictly lower), repeated until neither pass
+//!    finds a move or a swap budget is exhausted.
+//!
+//! Termination: every accepted move strictly decreases the potential
+//! `(-assigned, Σ score)` in lexicographic order — eject–reinsert
+//! grows `assigned` by one, a 2-swap keeps `assigned` and lowers the
+//! score sum by at least `EPS`. Both components are bounded below
+//! (assigned ≤ |batch|; score sums are sums over a finite edge set),
+//! so the loop reaches a fixed point; `swap_budget` is a backstop, not
+//! the usual exit.
+
+use std::collections::HashMap;
+
+use super::{AssignOutcome, Assignment, BatchRequest, DispatchPolicy};
+
+/// Minimum score improvement for a move to count as strictly better —
+/// guards the termination argument against float round-off.
+const EPS: f64 = 1e-9;
+
+/// Default cap on improving moves per window.
+const DEFAULT_SWAP_BUDGET: u64 = 10_000;
+
+/// Windowed joint assignment with greedy seeding and 2-swap +
+/// eject–reinsert improvement. See the module docs for the algorithm.
+#[derive(Debug, Clone)]
+pub struct BatchWindow {
+    window_s: f64,
+    ride_capacity: u32,
+    max_batch: usize,
+    swap_budget: u64,
+}
+
+impl BatchWindow {
+    /// A window of `window_s` simulated seconds where each ride
+    /// absorbs at most `ride_capacity` requests.
+    pub fn new(window_s: f64, ride_capacity: u32) -> Self {
+        Self {
+            window_s,
+            ride_capacity: ride_capacity.max(1),
+            max_batch: usize::MAX,
+            swap_budget: DEFAULT_SWAP_BUDGET,
+        }
+    }
+
+    /// Cap the number of requests per window (flushes early when full).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Override the improving-move budget.
+    pub fn with_swap_budget(mut self, budget: u64) -> Self {
+        self.swap_budget = budget;
+        self
+    }
+}
+
+impl DispatchPolicy for BatchWindow {
+    fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn assign(&mut self, batch: &[BatchRequest]) -> AssignOutcome {
+        let n = batch.len();
+        // assigned[i] = candidate index request i holds, if any.
+        let mut assigned: Vec<Option<usize>> = vec![None; n];
+        // Per-window load of each ride seen in the candidate graph.
+        let mut used: HashMap<u64, u32> = HashMap::new();
+        let cap = self.ride_capacity;
+
+        // Phase 1: greedy seeding over all edges, best score first.
+        // Ties break by (request index, candidate rank) so a window of
+        // one request always takes candidates[0] — the first-match
+        // decision, which the batch:0 equivalence test pins down.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (i, req) in batch.iter().enumerate() {
+            for ci in 0..req.candidates.len() {
+                edges.push((i, ci));
+            }
+        }
+        edges.sort_by(|&(i, ci), &(j, cj)| {
+            let a = batch[i].candidates[ci].score;
+            let b = batch[j].candidates[cj].score;
+            a.total_cmp(&b).then(i.cmp(&j)).then(ci.cmp(&cj))
+        });
+        for &(i, ci) in &edges {
+            if assigned[i].is_some() {
+                continue;
+            }
+            let ride = batch[i].candidates[ci].ride;
+            let load = used.entry(ride).or_insert(0);
+            if *load < cap {
+                *load += 1;
+                assigned[i] = Some(ci);
+            }
+        }
+
+        // Phase 2: improve until a fixed point or the budget runs out.
+        let mut swaps: u64 = 0;
+        loop {
+            let mut improved = false;
+
+            // Eject–reinsert: seat an unassigned request u by moving a
+            // current assignee v of one of u's rides to v's own
+            // cheapest alternative ride with spare capacity. The move
+            // with the lowest total score delta wins; ride capacity
+            // freed by earlier passes is used directly when available.
+            'reinsert: for u in 0..n {
+                if assigned[u].is_some() {
+                    continue;
+                }
+                for (uci, cand) in batch[u].candidates.iter().enumerate() {
+                    if swaps >= self.swap_budget {
+                        break 'reinsert;
+                    }
+                    let load = used.get(&cand.ride).copied().unwrap_or(0);
+                    if load < cap {
+                        *used.entry(cand.ride).or_insert(0) += 1;
+                        assigned[u] = Some(uci);
+                        swaps += 1;
+                        improved = true;
+                        break;
+                    }
+                    // Ride full: find the assignee of this ride whose
+                    // relocation is cheapest. Candidates are
+                    // best-first, so the first feasible alternative is
+                    // the assignee's cheapest escape.
+                    let mut best: Option<(usize, usize, f64)> = None;
+                    for v in 0..n {
+                        let Some(vci) = assigned[v] else { continue };
+                        if batch[v].candidates[vci].ride != cand.ride {
+                            continue;
+                        }
+                        for (aci, alt) in batch[v].candidates.iter().enumerate() {
+                            if alt.ride == cand.ride {
+                                continue;
+                            }
+                            if used.get(&alt.ride).copied().unwrap_or(0) >= cap {
+                                continue;
+                            }
+                            let delta = alt.score - batch[v].candidates[vci].score;
+                            // Strict `<` keeps the lowest request
+                            // index on ties — deterministic output.
+                            if best.is_none_or(|(_, _, d)| delta < d - EPS) {
+                                best = Some((v, aci, delta));
+                            }
+                            break;
+                        }
+                    }
+                    if let Some((v, aci, _)) = best {
+                        let v_ride = batch[v].candidates[aci].ride;
+                        *used.entry(v_ride).or_insert(0) += 1;
+                        assigned[v] = Some(aci);
+                        // cand.ride's load is unchanged: v out, u in.
+                        assigned[u] = Some(uci);
+                        swaps += 1;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+
+            // 2-swap: exchange the rides of two assigned requests when
+            // that strictly lowers the combined score. Per-ride loads
+            // are unchanged, so no capacity bookkeeping is needed.
+            'swap: for i in 0..n {
+                let Some(ici) = assigned[i] else { continue };
+                for j in (i + 1)..n {
+                    if swaps >= self.swap_budget {
+                        break 'swap;
+                    }
+                    let Some(jci) = assigned[j] else { continue };
+                    let ri = batch[i].candidates[ici].ride;
+                    let rj = batch[j].candidates[jci].ride;
+                    if ri == rj {
+                        continue;
+                    }
+                    let Some(i_on_rj) = first_candidate_on(batch, i, rj) else { continue };
+                    let Some(j_on_ri) = first_candidate_on(batch, j, ri) else { continue };
+                    let cur = batch[i].candidates[ici].score + batch[j].candidates[jci].score;
+                    let alt = batch[i].candidates[i_on_rj].score + batch[j].candidates[j_on_ri].score;
+                    if alt + EPS < cur {
+                        assigned[i] = Some(i_on_rj);
+                        assigned[j] = Some(j_on_ri);
+                        swaps += 1;
+                        improved = true;
+                        // `ici` is stale after the exchange — restart
+                        // request i's scan from the outer loop.
+                        continue 'swap;
+                    }
+                }
+            }
+
+            if !improved || swaps >= self.swap_budget {
+                break;
+            }
+        }
+
+        AssignOutcome {
+            assignments: assigned
+                .into_iter()
+                .map(|a| a.map_or(Assignment::Create, Assignment::Book))
+                .collect(),
+            swaps,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+}
+
+/// Best (lowest-score) candidate of request `i` that targets `ride`.
+fn first_candidate_on(batch: &[BatchRequest], i: usize, ride: u64) -> Option<usize> {
+    batch[i].candidates.iter().position(|c| c.ride == ride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Candidate;
+
+    fn req(idx: usize, cands: &[(u64, f64)]) -> BatchRequest {
+        BatchRequest {
+            idx,
+            candidates: cands
+                .iter()
+                .map(|&(ride, score)| Candidate { ride, score, detour_m: 0.0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_request_takes_best_candidate() {
+        let mut p = BatchWindow::new(0.0, 3);
+        let out = p.assign(&[req(0, &[(1, 5.0), (2, 9.0)])]);
+        assert_eq!(out.assignments, vec![Assignment::Book(0)]);
+    }
+
+    #[test]
+    fn empty_candidates_create() {
+        let mut p = BatchWindow::new(0.0, 3);
+        let out = p.assign(&[req(0, &[])]);
+        assert_eq!(out.assignments, vec![Assignment::Create]);
+    }
+
+    #[test]
+    fn capacity_forces_second_request_elsewhere() {
+        let mut p = BatchWindow::new(0.05, 1);
+        // Both want ride 1; request 0 is cheaper there, request 1 has
+        // an alternative.
+        let out = p.assign(&[req(0, &[(1, 5.0)]), req(1, &[(1, 6.0), (2, 8.0)])]);
+        assert_eq!(out.assignments, vec![Assignment::Book(0), Assignment::Book(1)]);
+    }
+
+    #[test]
+    fn eject_reinsert_seats_otherwise_stranded_request() {
+        let mut p = BatchWindow::new(0.05, 1);
+        // Greedy gives ride 1 to request 0 (score 5 < 6); request 1
+        // only knows ride 1, so request 0 must relocate to ride 2.
+        let out = p.assign(&[req(0, &[(1, 5.0), (2, 7.0)]), req(1, &[(1, 6.0)])]);
+        assert_eq!(out.assignments, vec![Assignment::Book(1), Assignment::Book(0)]);
+        assert!(out.swaps >= 1);
+    }
+
+    #[test]
+    fn two_swap_fixes_crossed_assignment() {
+        let mut p = BatchWindow::new(0.05, 1);
+        // Greedy seeds by global score order: request 1 takes ride 1
+        // (score 1), then request 0 must take ride 2 (score 9) —
+        // total 10. Swapped: 2 + 4 = 6.
+        let out = p.assign(&[req(0, &[(1, 2.0), (2, 9.0)]), req(1, &[(1, 1.0), (2, 4.0)])]);
+        assert_eq!(out.assignments, vec![Assignment::Book(0), Assignment::Book(1)]);
+        assert!(out.swaps >= 1);
+    }
+
+    #[test]
+    fn swap_budget_caps_moves() {
+        let mut p = BatchWindow::new(0.05, 1).with_swap_budget(0);
+        // Same crossed instance as above: with no budget, greedy
+        // output stands.
+        let out = p.assign(&[req(0, &[(1, 2.0), (2, 9.0)]), req(1, &[(1, 1.0), (2, 4.0)])]);
+        assert_eq!(out.assignments, vec![Assignment::Book(1), Assignment::Book(0)]);
+        assert_eq!(out.swaps, 0);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let batch = vec![
+            req(0, &[(1, 3.0), (3, 5.0)]),
+            req(1, &[(1, 3.0), (2, 4.0)]),
+            req(2, &[(2, 2.0), (3, 6.0)]),
+            req(3, &[(3, 1.0)]),
+        ];
+        let a = BatchWindow::new(0.05, 1).assign(&batch);
+        let b = BatchWindow::new(0.05, 1).assign(&batch);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.swaps, b.swaps);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's §X.A.2 protocol expressed as a [`DispatchPolicy`]:
+//! every request is assigned its best (least combined walking)
+//! candidate immediately, with no batching.
+
+use super::{AssignOutcome, Assignment, BatchRequest, DispatchPolicy};
+
+/// First-match assignment: take the head of the backend's
+/// already-sorted candidate list, or create a ride when there is none.
+///
+/// `batched()` is `false`, so the driver runs the immediate
+/// per-request path — including the stale-match fall-through that the
+/// fused pre-pipeline simulator performed — and this policy's `assign`
+/// only picks the starting candidate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstMatch;
+
+impl DispatchPolicy for FirstMatch {
+    fn batched(&self) -> bool {
+        false
+    }
+
+    fn assign(&mut self, batch: &[BatchRequest]) -> AssignOutcome {
+        AssignOutcome {
+            assignments: batch
+                .iter()
+                .map(|r| {
+                    if r.candidates.is_empty() {
+                        Assignment::Create
+                    } else {
+                        Assignment::Book(0)
+                    }
+                })
+                .collect(),
+            swaps: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "first"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Candidate;
+
+    #[test]
+    fn first_match_books_head_or_creates() {
+        let mut p = FirstMatch;
+        let batch = vec![
+            BatchRequest {
+                idx: 0,
+                candidates: vec![
+                    Candidate { ride: 7, score: 10.0, detour_m: 100.0 },
+                    Candidate { ride: 9, score: 20.0, detour_m: 50.0 },
+                ],
+            },
+            BatchRequest { idx: 1, candidates: vec![] },
+        ];
+        let out = p.assign(&batch);
+        assert_eq!(out.assignments, vec![Assignment::Book(0), Assignment::Create]);
+        assert_eq!(out.swaps, 0);
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod dispatch;
 pub mod parallel;
 pub mod report;
 pub mod searchbench;
@@ -41,13 +42,19 @@ pub mod sim;
 pub mod trips;
 
 pub use backend::{TShareBackend, XarBackend};
-pub use parallel::{
-    run_parallel_simulation, run_scaling_point, scaling_curve_json, ConcurrentBackend,
-    ScalingPoint, ShardedXarBackend,
+pub use dispatch::{
+    run_dispatch, AssignOutcome, Assignment, BatchRequest, BatchWindow, Candidate,
+    DispatchPolicy, DispatchSpec, FirstMatch,
 };
-pub use report::{percentile, percentile_ns, SimReport};
+pub use parallel::{
+    run_parallel_dispatch, run_parallel_simulation, run_scaling_point, scaling_curve_json,
+    ConcurrentBackend, ScalingPoint, ShardedXarBackend,
+};
+pub use report::{
+    percentile, percentile_ns, Decision, DecisionOutcome, DispatchDeltas, SimReport,
+};
 pub use searchbench::{
     populated_engine, run_search_point, search_curve_json, SearchPoint,
 };
-pub use sim::{run_simulation, RideBackend, SimConfig};
+pub use sim::{run_simulation, run_simulation_with, BookResult, RideBackend, SimConfig};
 pub use trips::{generate_trips, Trip, TripGenConfig};

@@ -33,8 +33,9 @@ use std::time::Instant;
 use xar_core::{RideMatch, RideOffer, RideRequest, ShardedXarEngine};
 use xar_obs::Registry;
 
+use crate::dispatch::{Candidate, DispatchSpec};
 use crate::report::SimReport;
-use crate::sim::{BookResult, SimConfig};
+use crate::sim::{BookResult, RideBackend, SimConfig};
 use crate::trips::Trip;
 
 /// A ride-sharing system safe to drive from many threads at once: the
@@ -47,6 +48,16 @@ pub trait ConcurrentBackend: Sync {
     fn search(&self, trip: &Trip, cfg: &SimConfig) -> Vec<Self::Match>;
     /// Book a match; [`BookResult::Failed`] if it went stale.
     fn book(&self, m: &Self::Match, cfg: &SimConfig) -> BookResult;
+    /// Book after re-validating feasibility against the live engine —
+    /// see [`RideBackend::book_checked`]. Defaults to plain `book`.
+    fn book_checked(&self, m: &Self::Match, cfg: &SimConfig) -> BookResult {
+        self.book(m, cfg)
+    }
+    /// Reduce a match to its assignment edge — see
+    /// [`RideBackend::describe`].
+    fn describe(_m: &Self::Match) -> Candidate {
+        Candidate { ride: 0, score: 0.0, detour_m: 0.0 }
+    }
     /// Offer `trip` as a new ride; `false` if it could not be created.
     fn create(&self, trip: &Trip, cfg: &SimConfig) -> bool;
     /// Advance the system clock (tracking sweep).
@@ -58,6 +69,45 @@ pub trait ConcurrentBackend: Sync {
     /// Short system name for reports.
     fn name(&self) -> &'static str {
         "backend"
+    }
+}
+
+/// One worker thread's view of a shared [`ConcurrentBackend`],
+/// adapting it to the `&mut self` [`RideBackend`] interface the
+/// dispatch driver runs against. Carries the run's shared registry so
+/// every worker records `sim.*` / `dispatch.*` series into the same
+/// snapshot even when the backend keeps none of its own.
+struct WorkerBackend<'a, B: ConcurrentBackend> {
+    inner: &'a B,
+    registry: Arc<Registry>,
+}
+
+impl<B: ConcurrentBackend> RideBackend for WorkerBackend<'_, B> {
+    type Match = B::Match;
+
+    fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<B::Match> {
+        self.inner.search(trip, cfg)
+    }
+    fn book(&mut self, m: &B::Match, cfg: &SimConfig) -> BookResult {
+        self.inner.book(m, cfg)
+    }
+    fn book_checked(&mut self, m: &B::Match, cfg: &SimConfig) -> BookResult {
+        self.inner.book_checked(m, cfg)
+    }
+    fn describe(m: &B::Match) -> Candidate {
+        B::describe(m)
+    }
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
+        self.inner.create(trip, cfg)
+    }
+    fn track(&mut self, now_s: f64) {
+        self.inner.track(now_s);
+    }
+    fn registry(&self) -> Option<Arc<Registry>> {
+        Some(Arc::clone(&self.registry))
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
     }
 }
 
@@ -106,6 +156,24 @@ impl ConcurrentBackend for ShardedXarBackend {
         }
     }
 
+    fn book_checked(&self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
+        match self.engine.book_checked(m) {
+            Ok(out) => BookResult::Booked {
+                actual_detour_m: out.actual_detour_m,
+                estimated_detour_m: out.estimated_detour_m,
+                walk_m: out.walk_total_m,
+                budget_before_m: out.detour_budget_before_m,
+                pickup_eta_s: out.pickup_eta_s,
+                dropoff_eta_s: out.dropoff_eta_s,
+            },
+            Err(_) => BookResult::Failed,
+        }
+    }
+
+    fn describe(m: &RideMatch) -> Candidate {
+        Candidate { ride: m.ride.0, score: m.walk_total_m(), detour_m: m.detour_est_m }
+    }
+
     fn create(&self, trip: &Trip, cfg: &SimConfig) -> bool {
         self.engine
             .create_ride(&RideOffer {
@@ -148,17 +216,36 @@ pub fn run_parallel_simulation<B: ConcurrentBackend>(
     cfg: &SimConfig,
     threads: usize,
 ) -> SimReport {
+    run_parallel_dispatch(backend, trips, cfg, threads, DispatchSpec::First)
+}
+
+/// [`run_parallel_simulation`] under an explicit dispatch policy: each
+/// worker runs its own policy instance (built from `spec`) over its
+/// private trip slice, so batch windows form per worker — the engine
+/// stays shared and every commit re-validates against it.
+pub fn run_parallel_dispatch<B: ConcurrentBackend>(
+    backend: &B,
+    trips: &[Trip],
+    cfg: &SimConfig,
+    threads: usize,
+    spec: DispatchSpec,
+) -> SimReport {
     let threads = threads.max(1);
     let registry = backend.registry().unwrap_or_else(|| Arc::new(Registry::new()));
+    // Thread 0 doubles as the tracker; the rest never run sweeps.
+    let untracked = SimConfig { track_every_s: None, ..cfg.clone() };
     let mut partials: Vec<SimReport> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let registry = Arc::clone(&registry);
+                let cfg = if t == 0 { cfg } else { &untracked };
                 scope.spawn(move || {
-                    let slice: Vec<&Trip> =
-                        trips.iter().skip(t).step_by(threads).collect();
-                    run_worker(backend, &slice, cfg, &registry, t == 0)
+                    let slice: Vec<Trip> =
+                        trips.iter().skip(t).step_by(threads).copied().collect();
+                    let mut worker = WorkerBackend { inner: backend, registry };
+                    let mut policy = spec.build(cfg);
+                    crate::dispatch::run_dispatch(&mut worker, &slice, cfg, policy.as_mut())
                 })
             })
             .collect();
@@ -172,101 +259,6 @@ pub fn run_parallel_simulation<B: ConcurrentBackend>(
         report.merge(p);
     }
     report.registry = Some(registry);
-    report
-}
-
-/// One worker's closed loop over its private, time-sorted trip slice.
-fn run_worker<B: ConcurrentBackend>(
-    backend: &B,
-    trips: &[&Trip],
-    cfg: &SimConfig,
-    registry: &Arc<Registry>,
-    tracker: bool,
-) -> SimReport {
-    let mut report = SimReport::default();
-    let search_h = registry.histogram("sim.search_ns");
-    let book_h = registry.histogram("sim.book_ns");
-    let create_h = registry.histogram("sim.create_ns");
-    let track_h = registry.histogram("sim.track_ns");
-    let requests_total = registry.counter("sim.requests_total");
-    let req_booked = registry.counter_with("sim.requests", &[("outcome", "booked")]);
-    let req_created = registry.counter_with("sim.requests", &[("outcome", "created")]);
-    let req_unservable = registry.counter_with("sim.requests", &[("outcome", "unservable")]);
-    let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
-    for trip in trips {
-        if tracker {
-            if let Some(every) = cfg.track_every_s {
-                while trip.pickup_s >= next_track {
-                    let t0 = Instant::now();
-                    backend.track(next_track);
-                    track_h.record(t0.elapsed().as_nanos() as u64);
-                    next_track += every;
-                }
-            }
-        }
-
-        for _ in 0..cfg.lookups_per_request {
-            let t0 = Instant::now();
-            let _ = backend.search(trip, cfg);
-            let ns = t0.elapsed().as_nanos() as u64;
-            report.search_ns.push(ns);
-            search_h.record(ns);
-            report.looks += 1;
-        }
-
-        let t0 = Instant::now();
-        let matches = backend.search(trip, cfg);
-        let ns = t0.elapsed().as_nanos() as u64;
-        report.search_ns.push(ns);
-        search_h.record(ns);
-        report.looks += 1;
-        report.matches_returned += matches.len() as u64;
-
-        let mut booked = false;
-        for m in &matches {
-            let t0 = Instant::now();
-            let res = backend.book(m, cfg);
-            let ns = t0.elapsed().as_nanos() as u64;
-            report.book_ns.push(ns);
-            book_h.record(ns);
-            if let BookResult::Booked {
-                actual_detour_m,
-                estimated_detour_m,
-                walk_m,
-                budget_before_m,
-                ..
-            } = res
-            {
-                report.booked += 1;
-                requests_total.inc();
-                req_booked.inc();
-                report.detour_actual_m.push(actual_detour_m);
-                report.detour_estimated_m.push(estimated_detour_m);
-                report
-                    .detour_excess_m
-                    .push((actual_detour_m - budget_before_m).max(0.0));
-                report.walk_m.push(walk_m);
-                booked = true;
-                break;
-            }
-            report.stale_matches += 1;
-        }
-        if !booked {
-            let t0 = Instant::now();
-            let ok = backend.create(trip, cfg);
-            let ns = t0.elapsed().as_nanos() as u64;
-            report.create_ns.push(ns);
-            create_h.record(ns);
-            requests_total.inc();
-            if ok {
-                report.created += 1;
-                req_created.inc();
-            } else {
-                report.unservable += 1;
-                req_unservable.inc();
-            }
-        }
-    }
     report
 }
 

@@ -1,12 +1,17 @@
 //! The ride-sharing simulation framework of §X.A.2, generic over the
 //! system under test.
+//!
+//! The replay loop itself lives in [`crate::dispatch`]: this module
+//! keeps the configuration ([`SimConfig`]), the system-under-test
+//! abstraction ([`RideBackend`]) and the classic entry point
+//! ([`run_simulation`]), which drives the paper's first-match protocol
+//! through the pipeline.
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use xar_obs::trace::AttrList;
 use xar_obs::Registry;
 
+use crate::dispatch::{Candidate, DispatchPolicy, FirstMatch};
 use crate::report::SimReport;
 use crate::trips::Trip;
 
@@ -58,6 +63,21 @@ pub trait RideBackend {
     fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<Self::Match>;
     /// Book a match; `false` if the booking failed (stale match).
     fn book(&mut self, m: &Self::Match, cfg: &SimConfig) -> BookResult;
+    /// Book a match after re-validating its feasibility (seats +
+    /// detour budget) against the live engine — the commit primitive
+    /// of batched dispatch, where candidates can go stale between
+    /// search and commit. Defaults to plain [`RideBackend::book`] for
+    /// backends whose `book` already re-checks everything it needs.
+    fn book_checked(&mut self, m: &Self::Match, cfg: &SimConfig) -> BookResult {
+        self.book(m, cfg)
+    }
+    /// Reduce a match to the [`Candidate`] edge the assignment stage
+    /// scores: target ride, score (lower better), estimated detour.
+    /// The default is a zero edge, fine for backends never driven
+    /// through a batching policy.
+    fn describe(_m: &Self::Match) -> Candidate {
+        Candidate { ride: 0, score: 0.0, detour_m: 0.0 }
+    }
     /// Offer `trip` as a new ride; `false` if the offer could not be
     /// created (e.g. unroutable end-points).
     fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool;
@@ -105,35 +125,6 @@ pub enum BookResult {
     Failed,
 }
 
-/// A booked request whose pick-up / drop-off milestones have not been
-/// reached yet: `(trace id, pickup ETA, dropoff ETA)`. Consumed etas
-/// are set to `NaN`.
-type PendingLifecycle = (u64, f64, f64);
-
-/// Emit `request.picked_up` / `request.dropped_off` lifecycle instants
-/// for every pending booking whose scheduled time has passed `now_s`.
-fn flush_lifecycle(pending: &mut Vec<PendingLifecycle>, now_s: f64) {
-    pending.retain_mut(|(trace, pickup, dropoff)| {
-        if pickup.is_finite() && *pickup <= now_s {
-            xar_obs::trace::lifecycle(
-                *trace,
-                "request.picked_up",
-                AttrList::new().with("sim_t_s", *pickup),
-            );
-            *pickup = f64::NAN;
-        }
-        if dropoff.is_finite() && *dropoff <= now_s {
-            xar_obs::trace::lifecycle(
-                *trace,
-                "request.dropped_off",
-                AttrList::new().with("sim_t_s", *dropoff),
-            );
-            *dropoff = f64::NAN;
-        }
-        pickup.is_finite() || dropoff.is_finite()
-    });
-}
-
 /// Run the §X.A.2 protocol over `trips`: search; book the best match
 /// if any (falling through the match list on stale entries); otherwise
 /// create a new ride. Per-operation wall-clock latencies are recorded
@@ -150,146 +141,19 @@ pub fn run_simulation<B: RideBackend>(
     trips: &[Trip],
     cfg: &SimConfig,
 ) -> SimReport {
-    let mut report = SimReport::default();
-    // Phase histograms live in the backend's registry when it has one
-    // (so engine internals and simulator phases share a snapshot), in a
-    // private one otherwise.
-    let registry = backend.registry().unwrap_or_else(|| Arc::new(Registry::new()));
-    let search_h = registry.histogram("sim.search_ns");
-    let book_h = registry.histogram("sim.book_ns");
-    let create_h = registry.histogram("sim.create_ns");
-    let track_h = registry.histogram("sim.track_ns");
-    // Per-outcome request counters: the live operational plane reads
-    // booking-success SLOs off these (`sim.requests{outcome="booked"}`
-    // over `sim.requests_total`).
-    let requests_total = registry.counter("sim.requests_total");
-    let req_booked = registry.counter_with("sim.requests", &[("outcome", "booked")]);
-    let req_created = registry.counter_with("sim.requests", &[("outcome", "created")]);
-    let req_unservable = registry.counter_with("sim.requests", &[("outcome", "unservable")]);
-    let system = backend.name();
-    let mut pending: Vec<PendingLifecycle> = Vec::new();
-    let mut next_track = trips.first().map_or(0.0, |t| t.pickup_s);
-    for (idx, trip) in trips.iter().enumerate() {
-        if let Some(every) = cfg.track_every_s {
-            while trip.pickup_s >= next_track {
-                {
-                    let mut troot = xar_obs::trace::root("track");
-                    troot.attr("sim_t_s", next_track);
-                    troot.attr("system", system);
-                    let t0 = Instant::now();
-                    backend.track(next_track);
-                    track_h.record(t0.elapsed().as_nanos() as u64);
-                }
-                flush_lifecycle(&mut pending, next_track);
-                next_track += every;
-            }
-        }
+    run_simulation_with(backend, trips, cfg, &mut FirstMatch)
+}
 
-        let mut troot = xar_obs::trace::root("request");
-        troot.attr("idx", idx as u64);
-        troot.attr("sim_t_s", trip.pickup_s);
-        troot.attr("system", system);
-        let ctx = xar_obs::trace::current_ctx();
-        xar_obs::trace::instant(
-            "request.born",
-            AttrList::new().with("sim_t_s", trip.pickup_s),
-        );
-
-        // Extra "look" searches (high look-to-book scenarios, Fig. 5b).
-        for _ in 0..cfg.lookups_per_request {
-            let _phase = xar_obs::trace::span("sim.search");
-            let t0 = Instant::now();
-            let _ = backend.search(trip, cfg);
-            let ns = t0.elapsed().as_nanos() as u64;
-            report.search_ns.push(ns);
-            search_h.record(ns);
-            report.looks += 1;
-        }
-
-        let phase = xar_obs::trace::span("sim.search");
-        let t0 = Instant::now();
-        let matches = backend.search(trip, cfg);
-        let ns = t0.elapsed().as_nanos() as u64;
-        report.search_ns.push(ns);
-        search_h.record(ns);
-        report.looks += 1;
-        report.matches_returned += matches.len() as u64;
-        drop(phase);
-        xar_obs::trace::instant(
-            "request.offered",
-            AttrList::new().with("matches", matches.len()),
-        );
-
-        let mut booked = false;
-        for m in &matches {
-            let _phase = xar_obs::trace::span("sim.book");
-            let t0 = Instant::now();
-            let res = backend.book(m, cfg);
-            let ns = t0.elapsed().as_nanos() as u64;
-            report.book_ns.push(ns);
-            book_h.record(ns);
-            if let BookResult::Booked {
-                actual_detour_m,
-                estimated_detour_m,
-                walk_m,
-                budget_before_m,
-                pickup_eta_s,
-                dropoff_eta_s,
-            } = res
-            {
-                report.booked += 1;
-                requests_total.inc();
-                req_booked.inc();
-                report.detour_actual_m.push(actual_detour_m);
-                report.detour_estimated_m.push(estimated_detour_m);
-                report.detour_excess_m.push((actual_detour_m - budget_before_m).max(0.0));
-                report.walk_m.push(walk_m);
-                booked = true;
-                xar_obs::trace::instant(
-                    "request.booked",
-                    AttrList::new()
-                        .with("walk_m", walk_m)
-                        .with("detour_m", actual_detour_m)
-                        .with("pickup_eta_s", pickup_eta_s),
-                );
-                troot.attr("outcome", "booked");
-                if let Some(ctx) = ctx {
-                    if pickup_eta_s.is_finite() || dropoff_eta_s.is_finite() {
-                        pending.push((ctx.trace, pickup_eta_s, dropoff_eta_s));
-                    }
-                }
-                break;
-            }
-            report.stale_matches += 1;
-            xar_obs::trace::instant("request.rejected", AttrList::new().with("stale", 1u64));
-        }
-        if !booked {
-            let _phase = xar_obs::trace::span("sim.create");
-            let t0 = Instant::now();
-            let ok = backend.create(trip, cfg);
-            let ns = t0.elapsed().as_nanos() as u64;
-            report.create_ns.push(ns);
-            create_h.record(ns);
-            requests_total.inc();
-            if ok {
-                report.created += 1;
-                req_created.inc();
-                xar_obs::trace::instant("request.created", AttrList::new());
-                troot.attr("outcome", "created");
-            } else {
-                report.unservable += 1;
-                req_unservable.inc();
-                xar_obs::trace::instant("request.unservable", AttrList::new());
-                troot.attr("outcome", "unservable");
-            }
-        }
-    }
-    // The simulation clock stops at the last request; milestones
-    // already scheduled (bookings with known ETAs) are flushed so
-    // committed snapshots contain complete rider timelines.
-    flush_lifecycle(&mut pending, f64::INFINITY);
-    report.registry = Some(registry);
-    report
+/// [`run_simulation`] under an explicit [`DispatchPolicy`]: the
+/// three-stage pipeline (generate candidates → assign → commit) with
+/// `policy` in the assignment seat.
+pub fn run_simulation_with<B: RideBackend, P: DispatchPolicy + ?Sized>(
+    backend: &mut B,
+    trips: &[Trip],
+    cfg: &SimConfig,
+    policy: &mut P,
+) -> SimReport {
+    crate::dispatch::run_dispatch(backend, trips, cfg, policy)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!              [--metrics-out FILE] [--trace-out FILE]
 //!              [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N]
 //!              [--baseline tshare] [--threads N] [--shards N]
+//!              [--dispatch first|batch:MS] [--compress-day-s F]
 //!     Run the paper's §X.A.2 ride-sharing simulation over a synthetic
 //!     taxi day and report outcome + latency statistics. `--json` dumps
 //!     the full report (counters, percentiles, metrics) as JSON;
@@ -27,7 +28,10 @@
 //!     both systems. `--threads N` (default 1) drives the replay from
 //!     N closed-loop workers against the cluster-sharded engine
 //!     (`--shards`, default 8); an invalid `--threads` value exits
-//!     with code 9.
+//!     with code 9. `--dispatch batch:MS` (default `first`) routes
+//!     requests through the batch-window assignment policy; invalid
+//!     values also exit 9. `--compress-day-s F` rescales the trip day
+//!     onto F seconds so millisecond windows hold real batches.
 //!
 //! xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N]
 //!           [--threads LIST] [--min-scaling F] [--json FILE]
@@ -110,9 +114,10 @@ use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
 use xhare_a_ride::tshare::{TShareConfig, TShareEngine};
 use xhare_a_ride::workload::searchbench::request_of;
 use xhare_a_ride::workload::{
-    generate_trips, percentile_ns, populated_engine, run_parallel_simulation, run_scaling_point,
-    run_search_point, run_simulation, scaling_curve_json, search_curve_json, ScalingPoint,
-    SearchPoint, ShardedXarBackend, SimConfig, TShareBackend, TripGenConfig, XarBackend,
+    generate_trips, percentile_ns, populated_engine, run_parallel_dispatch, run_scaling_point,
+    run_search_point, run_simulation, run_simulation_with, scaling_curve_json, search_curve_json,
+    DispatchSpec, ScalingPoint, SearchPoint, ShardedXarBackend, SimConfig, TShareBackend,
+    TripGenConfig, XarBackend,
 };
 
 /// Flags that take no value (presence alone means `true`).
@@ -203,7 +208,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--dispatch first|batch:MS] [--compress-day-s F] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -300,6 +305,44 @@ fn parse_threads_list(flags: &Flags) -> Result<Vec<usize>, CmdError> {
     Ok(out)
 }
 
+/// Parse `--dispatch` (default `first`); invalid values share the
+/// exit-code-9 contract of the other invocation flags.
+fn parse_dispatch_flag(flags: &Flags) -> Result<DispatchSpec, CmdError> {
+    match flags.get_opt("dispatch") {
+        None => Ok(DispatchSpec::First),
+        Some(v) => DispatchSpec::parse(v).map_err(|e| CmdError::coded(9, e)),
+    }
+}
+
+/// Parse `--compress-day-s` (default: off): rescale the generated
+/// trip day onto `[0, F]` seconds so millisecond batch windows hold
+/// more than one request. Invalid values share the exit-code-9
+/// contract.
+fn parse_compress_flag(flags: &Flags) -> Result<Option<f64>, CmdError> {
+    match flags.get_opt("compress-day-s") {
+        None => Ok(None),
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f.is_finite() && f > 0.0 => Ok(Some(f)),
+            _ => Err(CmdError::coded(
+                9,
+                format!("--compress-day-s must be a positive number of seconds, got '{v}'"),
+            )),
+        },
+    }
+}
+
+/// Linearly rescale trip pick-up times onto `[0, span_s]`, preserving
+/// their order — the request *sequence* is untouched, only the arrival
+/// rate changes.
+fn compress_day(trips: &mut [xhare_a_ride::workload::Trip], span_s: f64) {
+    let Some(first) = trips.first().map(|t| t.pickup_s) else { return };
+    let last = trips.last().map(|t| t.pickup_s).unwrap_or(first);
+    let span = (last - first).max(f64::MIN_POSITIVE);
+    for t in trips.iter_mut() {
+        t.pickup_s = (t.pickup_s - first) / span * span_s;
+    }
+}
+
 /// Parse `--shards` (default [`DEFAULT_SHARDS`]); out-of-range values
 /// share the exit-code-9 contract.
 fn parse_shards_flag(flags: &Flags) -> Result<usize, CmdError> {
@@ -328,6 +371,8 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
     // its distinct exit code.
     let threads = parse_threads_flag(flags)?;
     let shards = parse_shards_flag(flags)?;
+    let dispatch = parse_dispatch_flag(flags)?;
+    let compress = parse_compress_flag(flags)?;
     let path = flags.require("region")?;
     let trips_n: usize = flags.get("trips", 10_000)?;
     let seed: u64 = flags.get("seed", 0x7A11)?;
@@ -356,10 +401,19 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
 
     let region =
         Arc::new(RegionIndex::load(path).map_err(|e| format!("cannot read {path}: {e}"))?);
-    let trips = generate_trips(
+    let mut trips = generate_trips(
         region.graph(),
         &TripGenConfig { count: trips_n, seed, ..Default::default() },
     );
+    if let Some(span_s) = compress {
+        compress_day(&mut trips, span_s);
+        eprintln!(
+            "day compressed : {} trips over {span_s} s ({:.0} req/s)",
+            trips.len(),
+            trips.len() as f64 / span_s,
+        );
+    }
+    let trips = trips;
     eprintln!("simulating {} trips on {} clusters...", trips.len(), region.cluster_count());
     let mut sim = if threads == 1 {
         SimUnderTest::Serial(Box::new(XarBackend::new(XarEngine::new(
@@ -455,11 +509,23 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
     }
 
     let report = match &mut sim {
-        SimUnderTest::Serial(b) => run_simulation(b.as_mut(), &trips, &cfg),
-        SimUnderTest::Parallel(b) => run_parallel_simulation(&*b, &trips, &cfg, threads),
+        SimUnderTest::Serial(b) => {
+            let mut policy = dispatch.build(&cfg);
+            run_simulation_with(b.as_mut(), &trips, &cfg, policy.as_mut())
+        }
+        SimUnderTest::Parallel(b) => run_parallel_dispatch(&*b, &trips, &cfg, threads, dispatch),
     };
 
     println!("trips          : {}", trips.len());
+    // Machine-read by the CI dispatch gate — keep the line shape stable.
+    println!(
+        "dispatch       : policy={} service_rate={:.6} stale_commits={} windows={} swaps={}",
+        dispatch.label(),
+        report.service_rate(),
+        report.stale_commits,
+        report.window_ns.len(),
+        report.swaps,
+    );
     println!("booked         : {} ({:.1}% share rate)", report.booked, report.share_rate() * 100.0);
     println!("created        : {}", report.created);
     println!("unservable     : {}", report.unservable);

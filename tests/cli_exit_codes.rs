@@ -4,7 +4,9 @@
 //! JSON, 3 = trace with no complete request timeline, 4 = trace
 //! missing the drop counter, 7 = `bench` capacity/scaling gate,
 //! 8 = `--slo-fail` with a fired SLO, 9 = invalid `--threads` /
-//! `--shards` value, 10 = `--max-backlog` snapshot retire-backlog gate.
+//! `--shards` / `--dispatch` / `--compress-day-s` value, 10 =
+//! `--max-backlog` snapshot retire-backlog gate. The full table lives
+//! in README.md § Exit codes.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -78,6 +80,12 @@ fn invalid_threads_or_shards_exit_9_with_a_clear_message() {
         ["simulate", "--shards", "999"],
         ["bench", "--threads", "1,nope"],
         ["bench", "--shards", "zero"],
+        ["simulate", "--dispatch", "nonsense"],
+        ["simulate", "--dispatch", "batch:"],
+        ["simulate", "--dispatch", "batch:-50"],
+        ["simulate", "--dispatch", "batch:1.5"],
+        ["simulate", "--compress-day-s", "0"],
+        ["simulate", "--compress-day-s", "-10"],
     ] {
         let out = xar(&args);
         assert_eq!(code(&out), 9, "{args:?} -> {out:?}");

@@ -71,12 +71,12 @@ pub mod tracking;
 pub use booking::BookingOutcome;
 pub use concurrent::SharedXarEngine;
 pub use engine::{EngineConfig, EngineStats, EngineStatsSnapshot, XarEngine};
-pub use error::XarError;
+pub use error::{Reason, XarError};
 pub use index::ClusterIndex;
 pub use metrics::EngineMetrics;
 pub use request::RideRequest;
 pub use ride::{Ride, RideId, RideOffer, RideStatus, RiderId};
-pub use search::RideMatch;
+pub use search::{RideMatch, SearchExplain};
 pub use sharded::{ShardOccupancy, ShardedXarEngine, DEFAULT_SHARDS, MAX_SHARDS};
 pub use snapshot::{SearchScratch, ShardSnapshot, SnapshotCell};
 pub use social::SocialGraph;

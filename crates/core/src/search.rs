@@ -20,10 +20,94 @@ use std::collections::HashMap;
 use xar_discretize::{ClusterId, LandmarkId, WalkEntry};
 
 use crate::engine::XarEngine;
-use crate::error::XarError;
+use crate::error::{Reason, XarError};
 use crate::index::PotentialRide;
 use crate::request::RideRequest;
 use crate::ride::RideId;
+
+/// Per-search rejection attribution, filled alongside candidate
+/// generation: how many candidate rides each feasibility check turned
+/// away, plus the search tier. A plain `Copy` stack struct so the
+/// explained search path stays allocation-free (the sharded engine's
+/// zero-alloc guarantee covers it — see `tests/snapshot_alloc`).
+///
+/// Each candidate ride in `R1` is classified exactly once: matched,
+/// or attributed to the *deepest* check any of its (source,
+/// destination) pairings reached — checks run ordering → walk →
+/// detour, so e.g. `detour_rejected` means some pairing passed
+/// ordering and walking and failed only on the detour budget. Rides
+/// with no free seat count as `seat_rejected` before pairing; rides
+/// never seen on the destination side count as `unpaired`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchExplain {
+    /// Search tier (1-based fan-out bucket; 0 when the search never
+    /// reached candidate generation).
+    pub tier: u8,
+    /// `|R1|` — candidate rides on the source side.
+    pub candidates: u32,
+    /// Candidates turned away because no seat was free.
+    pub seat_rejected: u32,
+    /// Candidates whose every viable pairing failed only the
+    /// detour-budget check.
+    pub detour_rejected: u32,
+    /// Candidates whose pairings passed ordering but exceeded the
+    /// rider's combined walking limit.
+    pub walk_rejected: u32,
+    /// Candidates where no pairing had pick-up strictly before
+    /// drop-off.
+    pub ordering_rejected: u32,
+    /// Candidates in `R1` that never appeared on the destination side
+    /// (`R1 \ R2`).
+    pub unpaired: u32,
+    /// A failure that pre-empted candidate generation entirely
+    /// (invalid request, unservable end-point).
+    pub hard: Option<Reason>,
+}
+
+impl SearchExplain {
+    /// The single [`Reason`] that best summarises this search, given
+    /// how many matches it returned. Never [`Reason::Unknown`]: a
+    /// matchless search with candidates has every candidate classified
+    /// by exactly one counter.
+    pub fn dominant_reason(&self, matches: usize) -> Reason {
+        if matches > 0 {
+            return Reason::Served;
+        }
+        if let Some(hard) = self.hard {
+            return hard;
+        }
+        if self.candidates == 0 {
+            return Reason::NoClusterCandidates;
+        }
+        // Largest class wins; ties break toward the scarcer resource
+        // (seats, then detour budget) so the answer is deterministic.
+        let classes = [
+            (self.seat_rejected, Reason::CapacityFull),
+            (self.detour_rejected, Reason::DetourBudgetExceeded),
+            (self.walk_rejected, Reason::WalkLimitExceeded),
+            (self.ordering_rejected, Reason::OrderingInfeasible),
+            (self.unpaired, Reason::NoClusterCandidates),
+        ];
+        let mut best = (0u32, Reason::NoClusterCandidates);
+        for (n, r) in classes {
+            if n > best.0 {
+                best = (n, r);
+            }
+        }
+        best.1
+    }
+
+    /// Record that one candidate ride was rejected at pairing depth
+    /// `deepest` (1 = ordering, 2 = walking, 3 = detour).
+    #[inline]
+    pub(crate) fn reject_at_depth(&mut self, deepest: u8) {
+        match deepest {
+            1 => self.ordering_rejected += 1,
+            2 => self.walk_rejected += 1,
+            _ => self.detour_rejected += 1,
+        }
+    }
+}
 
 /// A feasible match returned by search: everything booking needs,
 /// carried forward so that booking does not repeat the search work.
@@ -86,7 +170,25 @@ impl XarEngine {
     /// walking distance of any landmarks/cluster, then requests from it
     /// will not be served" (§IV).
     pub fn search(&self, req: &RideRequest, limit: usize) -> Result<Vec<RideMatch>, XarError> {
-        req.validate()?;
+        let mut explain = SearchExplain::default();
+        self.search_explained(req, limit, &mut explain)
+    }
+
+    /// [`XarEngine::search`], also filling `explain` with per-check
+    /// rejection attribution for the event plane. `explain` is reset
+    /// first; on error it carries the corresponding hard
+    /// [`Reason`].
+    pub fn search_explained(
+        &self,
+        req: &RideRequest,
+        limit: usize,
+        explain: &mut SearchExplain,
+    ) -> Result<Vec<RideMatch>, XarError> {
+        *explain = SearchExplain::default();
+        if let Err(e) = req.validate() {
+            explain.hard = Some(e.reason());
+            return Err(e);
+        }
         self.stats.searches.inc();
         let t0 = std::time::Instant::now();
         let _span = xar_obs::SpanTimer::new(std::sync::Arc::clone(&self.metrics.search_ns));
@@ -97,17 +199,19 @@ impl XarEngine {
         let src_walkable = region.walkable_within(src_node, req.walk_limit_m);
         let dst_walkable = region.walkable_within(dst_node, req.walk_limit_m);
         if src_walkable.is_empty() || dst_walkable.is_empty() {
+            explain.hard = Some(Reason::NotServable);
             return Err(XarError::NotServable);
         }
         // Tiered latency series: fan-out (walkable clusters on the
         // source side) is the main cost driver, so the per-tier p99s
         // separate "cheap" from "wide" searches on a live dashboard.
         // Unservable searches (above) carry no tier.
-        let tier_hist =
-            &self.metrics.search_ns_tier[crate::metrics::EngineMetrics::tier_index(src_walkable.len())];
+        let tier = crate::metrics::EngineMetrics::tier_index(src_walkable.len());
+        explain.tier = tier as u8 + 1;
+        let tier_hist = &self.metrics.search_ns_tier[tier];
 
         let mut out = Vec::new();
-        let candidates = collect_matches(self, src_walkable, dst_walkable, req, &mut out);
+        let candidates = collect_matches(self, src_walkable, dst_walkable, req, &mut out, explain);
         self.metrics.search_candidates.record(candidates as u64);
         tspan.attr("candidates", candidates);
 
@@ -151,6 +255,7 @@ pub(crate) fn collect_matches(
     dst_walkable: &[WalkEntry],
     req: &RideRequest,
     out: &mut Vec<RideMatch>,
+    explain: &mut SearchExplain,
 ) -> usize {
     // Step 1: R1 from the source side, ETA within the departure
     // window. A ride may be reachable through several walkable
@@ -204,14 +309,27 @@ pub(crate) fn collect_matches(
 
     // Intersection + final feasibility checks: per ride, the best
     // (least-walk) feasible (source, destination) combination wins.
+    // Each R1 ride lands in exactly one explain class (matched, seat,
+    // deepest pairing check, or unpaired) — the conservation the
+    // reason taxonomy depends on.
     for (ride_id, srcs) in &r1 {
-        let Some(dsts) = r2.get(ride_id) else { continue };
-        let Some(ride) = engine.ride(*ride_id) else { continue };
+        let Some(dsts) = r2.get(ride_id) else {
+            explain.unpaired += 1;
+            continue;
+        };
+        let Some(ride) = engine.ride(*ride_id) else {
+            explain.unpaired += 1;
+            continue;
+        };
         if ride.seats_available == 0 {
+            explain.seat_rejected += 1;
             continue;
         }
         let budget = ride.detour_remaining_m();
         let mut best: Option<RideMatch> = None;
+        // Deepest check any pairing reached: 1 ordering, 2 walk,
+        // 3 detour (checks run in that order).
+        let mut deepest = 1u8;
         for src in srcs {
             for dst in dsts {
                 // Pick-up must strictly precede drop-off along the
@@ -231,11 +349,13 @@ pub(crate) fn collect_matches(
                 // (a) combined walking within the rider's limit.
                 let walk_total = src.walk_m + dst.walk_m;
                 if walk_total > req.walk_limit_m {
+                    deepest = deepest.max(2);
                     continue;
                 }
                 // (b) combined detour within the ride's budget.
                 let detour_total = src.entry.detour_m + dst.entry.detour_m;
                 if detour_total > budget {
+                    deepest = deepest.max(3);
                     continue;
                 }
                 let better = best.as_ref().is_none_or(|b| {
@@ -262,7 +382,10 @@ pub(crate) fn collect_matches(
         }
         if let Some(m) = best {
             out.push(m);
+        } else {
+            explain.reject_at_depth(deepest);
         }
     }
+    explain.candidates += r1.len() as u32;
     r1.len()
 }

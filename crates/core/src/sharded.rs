@@ -54,11 +54,11 @@ use xar_obs::{Histogram, Registry};
 
 use crate::booking::BookingOutcome;
 use crate::engine::{EngineConfig, EngineStats, XarEngine};
-use crate::error::XarError;
+use crate::error::{Reason, XarError};
 use crate::metrics::EngineMetrics;
 use crate::request::RideRequest;
 use crate::ride::{Ride, RideId, RideOffer, RideStatus};
-use crate::search::{sort_matches, RideMatch};
+use crate::search::{sort_matches, RideMatch, SearchExplain};
 use crate::snapshot::{self, ShardSnapshot, SnapshotCell};
 
 /// Hard cap on the shard count: the occupancy bitmask is one `u64` per
@@ -415,9 +415,29 @@ impl ShardedXarEngine {
         limit: usize,
         out: &mut Vec<RideMatch>,
     ) -> Result<(), XarError> {
+        let mut explain = SearchExplain::default();
+        self.search_into_explained(req, limit, out, &mut explain)
+    }
+
+    /// [`ShardedXarEngine::search_into`], also filling `explain` with
+    /// per-check rejection attribution accumulated across the probed
+    /// shards. `explain` is a stack-only `Copy` struct, so this path
+    /// keeps the zero-allocation and lock-free guarantees of
+    /// `search_into`.
+    pub fn search_into_explained(
+        &self,
+        req: &RideRequest,
+        limit: usize,
+        out: &mut Vec<RideMatch>,
+        explain: &mut SearchExplain,
+    ) -> Result<(), XarError> {
         out.clear();
+        *explain = SearchExplain::default();
         let inner = &*self.inner;
-        req.validate()?;
+        if let Err(e) = req.validate() {
+            explain.hard = Some(e.reason());
+            return Err(e);
+        }
         inner.stats.searches.inc();
         let t0 = Instant::now();
         let _span = xar_obs::SpanTimer::new(Arc::clone(&inner.metrics.search_ns));
@@ -428,9 +448,12 @@ impl ShardedXarEngine {
         let src_walkable = region.walkable_within(src_node, req.walk_limit_m);
         let dst_walkable = region.walkable_within(dst_node, req.walk_limit_m);
         if src_walkable.is_empty() || dst_walkable.is_empty() {
+            explain.hard = Some(Reason::NotServable);
             return Err(XarError::NotServable);
         }
-        let tier_hist = &inner.metrics.search_ns_tier[EngineMetrics::tier_index(src_walkable.len())];
+        let tier = EngineMetrics::tier_index(src_walkable.len());
+        explain.tier = tier as u8 + 1;
+        let tier_hist = &inner.metrics.search_ns_tier[tier];
 
         // A shard can only contribute a match if it holds entries for at
         // least one source-side AND one destination-side cluster (the
@@ -449,8 +472,8 @@ impl ShardedXarEngine {
                         continue;
                     }
                     let snap = shard.snapshot.load(&guard);
-                    candidates +=
-                        snap.collect_matches(src_walkable, dst_walkable, req, scratch, out);
+                    candidates += snap
+                        .collect_matches(src_walkable, dst_walkable, req, scratch, out, explain);
                 }
             });
         }

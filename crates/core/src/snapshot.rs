@@ -589,6 +589,7 @@ impl ShardSnapshot {
         req: &RideRequest,
         scratch: &mut SearchScratch,
         out: &mut Vec<RideMatch>,
+        explain: &mut crate::search::SearchExplain,
     ) -> usize {
         scratch.r1.clear();
         scratch.r2.clear();
@@ -662,9 +663,12 @@ impl ShardSnapshot {
 
         // Intersection + final feasibility: merge-join the two sorted
         // runs; per ride, the best (least-walk, then least-detour,
-        // first-found) feasible (source, destination) pair wins.
+        // first-found) feasible (source, destination) pair wins. Each
+        // R1 ride lands in exactly one explain class (matched, seat,
+        // deepest pairing check, or unpaired) — mirroring the live
+        // engine's attribution exactly.
         let (mut i, mut j) = (0usize, 0usize);
-        while i < scratch.r1.len() && j < scratch.r2.len() {
+        while i < scratch.r1.len() {
             let ride = scratch.r1[i].0;
             let mut i_end = i;
             while i_end < scratch.r1.len() && scratch.r1[i_end].0 == ride {
@@ -681,6 +685,7 @@ impl ShardSnapshot {
                 if let Some((seats, budget)) = self.ride_state(ride) {
                     if seats > 0 {
                         let mut best: Option<RideMatch> = None;
+                        let mut deepest = 1u8;
                         for &(_, _, src) in &scratch.r1[i..i_end] {
                             for &(_, _, dst) in &scratch.r2[j..j_end] {
                                 // Pick-up strictly precedes drop-off
@@ -695,10 +700,12 @@ impl ShardSnapshot {
                                 }
                                 let walk_total = src.walk_m + dst.walk_m;
                                 if walk_total > req.walk_limit_m {
+                                    deepest = deepest.max(2);
                                     continue;
                                 }
                                 let detour_total = src.detour_m + dst.detour_m;
                                 if detour_total > budget {
+                                    deepest = deepest.max(3);
                                     continue;
                                 }
                                 let better = best.as_ref().is_none_or(|b| {
@@ -726,13 +733,22 @@ impl ShardSnapshot {
                         }
                         if let Some(m) = best {
                             out.push(m);
+                        } else {
+                            explain.reject_at_depth(deepest);
                         }
+                    } else {
+                        explain.seat_rejected += 1;
                     }
+                } else {
+                    explain.unpaired += 1;
                 }
+            } else {
+                explain.unpaired += 1;
             }
             i = i_end;
             j = j_end;
         }
+        explain.candidates += candidates as u32;
         candidates
     }
 }

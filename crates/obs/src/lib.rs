@@ -21,6 +21,11 @@
 //! * [`trace`] — a bounded flight recorder for request-scoped causal
 //!   span timelines with tail sampling; [`chrome`] exports its
 //!   snapshots as Perfetto-loadable Chrome trace-event JSON.
+//! * [`events`] — the wide-event plane: one canonical per-request
+//!   decision record (outcome, typed rejection reason, tier,
+//!   latencies) with the recorder's discipline — free when disabled,
+//!   no locks per event, conserved drop accounting — exported as
+//!   segmented JSONL for the `xar logs` forensics CLI.
 //! * [`profile`] — continuous profiling over the flight recorder:
 //!   hierarchical self/total-time aggregation, collapsed-stack and
 //!   speedscope artifacts, per-span allocation attribution, and
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod events;
 pub mod hist;
 pub mod json;
 pub mod profile;

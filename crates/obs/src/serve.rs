@@ -17,6 +17,8 @@
 //! * `/alerts` — the SLO engine's status array as JSON.
 //! * `/debug/profile` — the aggregated span profile plus per-span
 //!   allocation attribution ([`crate::profile::debug_profile_json`]).
+//! * `/debug/events` — the wide-event sink's state and newest ring
+//!   events ([`crate::events::debug_events_json`]).
 //! * `/debug/epoch`, `/debug/shards` — live introspection JSON from
 //!   the embedding process via [`DebugHooks`] (the `xar-core` epoch
 //!   domain and shard map, without `xar-obs` depending on it).
@@ -319,6 +321,9 @@ fn handle(stream: &mut TcpStream, plane: &OpsPlane) -> std::io::Result<()> {
             "/debug/profile" => {
                 (200, "application/json", crate::profile::debug_profile_json())
             }
+            "/debug/events" => {
+                (200, "application/json", crate::events::debug_events_json(32))
+            }
             "/debug/epoch" => match plane.debug_json(&plane.debug.epoch) {
                 Some(body) => (200, "application/json", body),
                 None => (404, "text/plain", "epoch debug hook not wired\n".to_string()),
@@ -468,6 +473,11 @@ mod tests {
         let (status, body) = http_get(addr, "/debug/profile");
         assert_eq!(status, 200);
         assert!(crate::json::parse(&body).is_ok(), "{body}");
+        // Built-in: the wide-event tail answers even with an empty sink.
+        let (status, body) = http_get(addr, "/debug/events");
+        assert_eq!(status, 200);
+        let events = crate::json::parse(&body).expect("events JSON");
+        assert!(events.get("emitted").is_some(), "{body}");
         // Unwired hooks are a clean 404, not a panic.
         let (status, _) = http_get(addr, "/debug/epoch");
         assert_eq!(status, 404);

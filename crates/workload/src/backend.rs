@@ -1,6 +1,6 @@
 //! [`RideBackend`] adapters for the two systems under test.
 
-use xar_core::{RideMatch, RideOffer, RideRequest, XarEngine};
+use xar_core::{Reason, RideMatch, RideOffer, RideRequest, SearchExplain, XarEngine};
 use xar_tshare::engine::{TShareMatch, TShareRequest};
 use xar_tshare::TShareEngine;
 
@@ -8,8 +8,9 @@ use crate::dispatch::Candidate;
 use crate::sim::{BookResult, RideBackend, SimConfig};
 use crate::trips::Trip;
 
-/// [`BookResult`] from a core-engine booking outcome.
-fn book_result(res: Result<xar_core::BookingOutcome, xar_core::XarError>) -> BookResult {
+/// [`BookResult`] from a core-engine booking outcome; failures carry
+/// the error's typed rejection reason.
+pub(crate) fn book_result(res: Result<xar_core::BookingOutcome, xar_core::XarError>) -> BookResult {
     match res {
         Ok(out) => BookResult::Booked {
             actual_detour_m: out.actual_detour_m,
@@ -19,7 +20,7 @@ fn book_result(res: Result<xar_core::BookingOutcome, xar_core::XarError>) -> Boo
             pickup_eta_s: out.pickup_eta_s,
             dropoff_eta_s: out.dropoff_eta_s,
         },
-        Err(_) => BookResult::Failed,
+        Err(e) => BookResult::Failed(e.reason()),
     }
 }
 
@@ -54,6 +55,19 @@ impl RideBackend for XarBackend {
         self.engine.search(&Self::request(trip, cfg), cfg.k).unwrap_or_default()
     }
 
+    fn search_explained(
+        &mut self,
+        trip: &Trip,
+        cfg: &SimConfig,
+    ) -> (Vec<RideMatch>, SearchExplain) {
+        let mut explain = SearchExplain::default();
+        let matches = self
+            .engine
+            .search_explained(&Self::request(trip, cfg), cfg.k, &mut explain)
+            .unwrap_or_default();
+        (matches, explain)
+    }
+
     fn book(&mut self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
         book_result(self.engine.book(m))
     }
@@ -69,7 +83,7 @@ impl RideBackend for XarBackend {
         Candidate { ride: m.ride.0, score: m.walk_total_m(), detour_m: m.detour_est_m }
     }
 
-    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> Result<(), Reason> {
         self.engine
             .create_ride(&RideOffer {
                 source: trip.pickup,
@@ -78,7 +92,8 @@ impl RideBackend for XarBackend {
                 seats: cfg.seats,
                 detour_limit_m: cfg.detour_limit_m, driver: None, via: Vec::new(),
             })
-            .is_ok()
+            .map(|_| ())
+            .map_err(|e| e.reason())
     }
 
     fn track(&mut self, now_s: f64) {
@@ -130,7 +145,10 @@ impl RideBackend for TShareBackend {
                 pickup_eta_s: m.pickup_eta_s,
                 dropoff_eta_s: f64::NAN, // T-Share does not expose it
             },
-            None => BookResult::Failed,
+            // T-Share's `book` re-validates the taxi schedule at
+            // insertion time; a `None` means the schedule can no
+            // longer absorb the trip — the match went stale.
+            None => BookResult::Failed(Reason::StaleCommit),
         }
     }
 
@@ -144,10 +162,11 @@ impl RideBackend for TShareBackend {
         Candidate { ride: m.taxi.0, score: m.detour_m, detour_m: m.detour_m }
     }
 
-    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> Result<(), Reason> {
         self.engine
             .create_taxi(trip.pickup, trip.dropoff, trip.pickup_s, cfg.seats)
-            .is_some()
+            .map(|_| ())
+            .ok_or(Reason::NoRoute)
     }
 
     fn track(&mut self, now_s: f64) {

@@ -27,9 +27,12 @@
 //! `dispatch.batch_size` and `dispatch.swaps` into the run's registry
 //! and wraps the assignment stage in a `dispatch.assign` trace span.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use xar_core::{Reason, SearchExplain};
+use xar_obs::events::{self, EventRecord};
 use xar_obs::trace::AttrList;
 use xar_obs::{Counter, Histogram, Registry};
 
@@ -217,6 +220,12 @@ struct PhaseMetrics {
     req_booked: Arc<Counter>,
     req_created: Arc<Counter>,
     req_unservable: Arc<Counter>,
+    /// One `sim.reject_reason{reason=...}` counter per [`Reason`]
+    /// variant (indexed by `Reason::index()`); bumped exactly once per
+    /// non-booked request, so `sim.requests{outcome=booked}` plus the
+    /// sum over these equals `sim.requests_total` — the conservation
+    /// the event plane reconciles against.
+    reject_reason: Vec<Arc<Counter>>,
 }
 
 impl PhaseMetrics {
@@ -230,7 +239,29 @@ impl PhaseMetrics {
             req_booked: registry.counter_with("sim.requests", &[("outcome", "booked")]),
             req_created: registry.counter_with("sim.requests", &[("outcome", "created")]),
             req_unservable: registry.counter_with("sim.requests", &[("outcome", "unservable")]),
+            reject_reason: Reason::ALL
+                .iter()
+                .map(|r| registry.counter_with("sim.reject_reason", &[("reason", r.code())]))
+                .collect(),
         }
+    }
+
+    fn reject(&self, reason: Reason) {
+        self.reject_reason[reason.index()].inc();
+    }
+}
+
+/// Process-wide batch-window id sequence: globally unique across the
+/// parallel driver's worker threads, so a merged event file never
+/// aliases two windows. Only advanced while the event sink is on —
+/// ids exist for forensics, not for control flow.
+static WINDOW_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn next_window_id() -> u64 {
+    if events::is_enabled() {
+        WINDOW_SEQ.fetch_add(1, Ordering::Relaxed)
+    } else {
+        0
     }
 }
 
@@ -309,6 +340,10 @@ pub fn run_dispatch<B: RideBackend, P: DispatchPolicy + ?Sized>(
     // already scheduled (bookings with known ETAs) are flushed so
     // committed snapshots contain complete rider timelines.
     flush_lifecycle(&mut pending, f64::INFINITY);
+    // Publish this thread's buffered wide events: the parallel driver
+    // runs one `run_dispatch` per worker thread, so every emitter
+    // flushes itself and a post-run snapshot is complete.
+    events::flush_thread();
     report.registry = Some(registry);
     report
 }
@@ -357,7 +392,28 @@ fn timed_search<B: RideBackend>(
     matches
 }
 
-/// Book-success bookkeeping shared by every commit path.
+/// [`timed_search`] through the explained entry point: additionally
+/// returns the rejection attribution and the wall-clock nanoseconds
+/// (for the request's wide event).
+fn timed_search_explained<B: RideBackend>(
+    backend: &mut B,
+    trip: &Trip,
+    cfg: &SimConfig,
+    report: &mut SimReport,
+    pm: &PhaseMetrics,
+) -> (Vec<B::Match>, SearchExplain, u64) {
+    let _phase = xar_obs::trace::span("sim.search");
+    let t0 = Instant::now();
+    let (matches, explain) = backend.search_explained(trip, cfg);
+    let ns = t0.elapsed().as_nanos() as u64;
+    report.search_ns.push(ns);
+    pm.search_h.record(ns);
+    report.looks += 1;
+    (matches, explain, ns)
+}
+
+/// Book-success bookkeeping shared by every commit path. Also fills
+/// the outcome half of the request's wide event.
 #[allow(clippy::too_many_arguments)]
 fn record_booked(
     report: &mut SimReport,
@@ -367,6 +423,7 @@ fn record_booked(
     ride: u64,
     res: BookResult,
     ctx: Option<xar_obs::TraceCtx>,
+    ev: &mut EventRecord,
 ) {
     let BookResult::Booked {
         actual_detour_m,
@@ -389,6 +446,14 @@ fn record_booked(
     if pickup_eta_s.is_finite() {
         report.wait_s.push((pickup_eta_s - trip.pickup_s).max(0.0));
     }
+    ev.outcome = "booked";
+    ev.reason = Reason::Served.code();
+    ev.ride = ride;
+    ev.walk_m = walk_m;
+    ev.detour_m = actual_detour_m;
+    if pickup_eta_s.is_finite() {
+        ev.wait_s = (pickup_eta_s - trip.pickup_s).max(0.0);
+    }
     report.decisions.push(Decision { trip_id: trip.id, outcome: DecisionOutcome::Booked { ride } });
     xar_obs::trace::instant(
         "request.booked",
@@ -404,23 +469,23 @@ fn record_booked(
     }
 }
 
-/// Timed ride creation with full accounting; returns whether the offer
-/// was accepted.
+/// Timed ride creation with full accounting; `Err` carries the typed
+/// reason the offer was refused with (the request is unservable).
 fn timed_create<B: RideBackend>(
     backend: &mut B,
     trip: &Trip,
     cfg: &SimConfig,
     report: &mut SimReport,
     pm: &PhaseMetrics,
-) -> bool {
+) -> Result<(), Reason> {
     let _phase = xar_obs::trace::span("sim.create");
     let t0 = Instant::now();
-    let ok = backend.create(trip, cfg);
+    let res = backend.create(trip, cfg);
     let ns = t0.elapsed().as_nanos() as u64;
     report.create_ns.push(ns);
     pm.create_h.record(ns);
     pm.requests_total.inc();
-    if ok {
+    if res.is_ok() {
         report.created += 1;
         pm.req_created.inc();
         report.decisions.push(Decision { trip_id: trip.id, outcome: DecisionOutcome::Created });
@@ -431,7 +496,35 @@ fn timed_create<B: RideBackend>(
         report.decisions.push(Decision { trip_id: trip.id, outcome: DecisionOutcome::Unservable });
         xar_obs::trace::instant("request.unservable", AttrList::new());
     }
-    ok
+    res
+}
+
+/// Decide the rejection reason of a request that ended `created` (a
+/// new ride) or `unservable`, from what its commit path saw. Fixed
+/// precedence, documented in EXPERIMENTS.md: a failed ride offer
+/// (unservable) keeps its own reason; then a stale batch commit, then
+/// a batch ejection, then the last live booking failure, then the
+/// search's own attribution. Never [`Reason::Unknown`].
+fn rejection_reason(
+    create_err: Option<Reason>,
+    stale_commit: bool,
+    ejected: bool,
+    last_book_failure: Option<Reason>,
+    explain: &SearchExplain,
+) -> Reason {
+    if let Some(r) = create_err {
+        return r;
+    }
+    if stale_commit {
+        return Reason::StaleCommit;
+    }
+    if ejected {
+        return Reason::SwapEjected;
+    }
+    if let Some(r) = last_book_failure {
+        return r;
+    }
+    explain.dominant_reason(0)
 }
 
 /// The immediate per-request path: generate, assign (a batch of one),
@@ -456,15 +549,23 @@ fn dispatch_immediate<B: RideBackend, P: DispatchPolicy + ?Sized>(
     troot.attr("system", system);
     let ctx = xar_obs::trace::current_ctx();
     xar_obs::trace::instant("request.born", AttrList::new().with("sim_t_s", trip.pickup_s));
+    let mut ev = EventRecord::new(trip.id);
+    ev.sim_t_s = trip.pickup_s;
+    ev.window = next_window_id();
 
     // Extra "look" searches (high look-to-book scenarios, Fig. 5b).
     for _ in 0..cfg.lookups_per_request {
         let _ = timed_search(backend, trip, cfg, report, pm);
     }
 
-    let matches = timed_search(backend, trip, cfg, report, pm);
+    let (matches, explain, search_ns) = timed_search_explained(backend, trip, cfg, report, pm);
     report.matches_returned += matches.len() as u64;
     xar_obs::trace::instant("request.offered", AttrList::new().with("matches", matches.len()));
+    ev.searches = cfg.lookups_per_request as u32 + 1;
+    ev.search_ns = search_ns;
+    ev.tier = explain.tier;
+    ev.candidates = explain.candidates;
+    ev.matches = matches.len() as u32;
 
     let request = BatchRequest {
         idx,
@@ -477,6 +578,7 @@ fn dispatch_immediate<B: RideBackend, P: DispatchPolicy + ?Sized>(
     };
 
     let mut booked = false;
+    let mut last_book_failure = None;
     for (ci, m) in matches.iter().enumerate().skip(start) {
         let _phase = xar_obs::trace::span("sim.book");
         let t0 = Instant::now();
@@ -485,18 +587,31 @@ fn dispatch_immediate<B: RideBackend, P: DispatchPolicy + ?Sized>(
         report.book_ns.push(ns);
         pm.book_h.record(ns);
         if matches!(res, BookResult::Booked { .. }) {
-            record_booked(report, pm, pending, trip, request.candidates[ci].ride, res, ctx);
+            ev.book_ns = ns;
+            record_booked(report, pm, pending, trip, request.candidates[ci].ride, res, ctx, &mut ev);
             booked = true;
             troot.attr("outcome", "booked");
             break;
         }
+        if let BookResult::Failed(r) = res {
+            last_book_failure = Some(r);
+        }
         report.stale_matches += 1;
+        ev.stale += 1;
         xar_obs::trace::instant("request.rejected", AttrList::new().with("stale", 1u64));
     }
     if !booked {
-        let ok = timed_create(backend, trip, cfg, report, pm);
-        troot.attr("outcome", if ok { "created" } else { "unservable" });
+        // A policy that declined despite candidates is an ejection —
+        // `FirstMatch` never does, but the path is generic.
+        let ejected = start >= matches.len() && !matches.is_empty() && last_book_failure.is_none();
+        let res = timed_create(backend, trip, cfg, report, pm);
+        ev.outcome = if res.is_ok() { "created" } else { "unservable" };
+        let reason = rejection_reason(res.err(), false, ejected, last_book_failure, &explain);
+        ev.reason = reason.code();
+        pm.reject(reason);
+        troot.attr("outcome", ev.outcome);
     }
+    events::emit(ev);
 }
 
 /// The windowed batch path: search every request of the window against
@@ -518,7 +633,10 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
 ) {
     let t0 = Instant::now();
     let n = batch.len();
+    let window_id = next_window_id();
     let mut all_matches: Vec<Vec<B::Match>> = Vec::with_capacity(n);
+    let mut explains: Vec<SearchExplain> = Vec::with_capacity(n);
+    let mut search_nss: Vec<u64> = Vec::with_capacity(n);
     let mut requests: Vec<BatchRequest> = Vec::with_capacity(n);
 
     // Stages 1 + 2 under one window trace root; commits get their own
@@ -537,7 +655,8 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
             for _ in 0..cfg.lookups_per_request {
                 let _ = timed_search(backend, trip, cfg, report, pm);
             }
-            let matches = timed_search(backend, trip, cfg, report, pm);
+            let (matches, explain, search_ns) =
+                timed_search_explained(backend, trip, cfg, report, pm);
             report.matches_returned += matches.len() as u64;
             xar_obs::trace::instant(
                 "request.offered",
@@ -548,6 +667,8 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
                 candidates: matches.iter().map(|m| B::describe(m)).collect(),
             });
             all_matches.push(matches);
+            explains.push(explain);
+            search_nss.push(search_ns);
         }
         let mut aspan = xar_obs::trace::span("dispatch.assign");
         let outcome = policy.assign(&requests);
@@ -570,9 +691,24 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
         troot.attr("sim_t_s", trip.pickup_s);
         troot.attr("system", system);
         let ctx = xar_obs::trace::current_ctx();
+        let mut ev = EventRecord::new(trip.id);
+        ev.sim_t_s = trip.pickup_s;
+        ev.window = window_id;
+        ev.searches = cfg.lookups_per_request as u32 + 1;
+        ev.search_ns = search_nss[i];
+        ev.tier = explains[i].tier;
+        ev.candidates = explains[i].candidates;
+        ev.matches = all_matches[i].len() as u32;
 
         let mut booked = false;
         let mut assignment_failed = false;
+        let mut stale_commit = false;
+        let mut last_book_failure = None;
+        // A request with window-time candidates that the policy still
+        // sent to `Create` was displaced by the assignment stage (e.g.
+        // a batch swap gave its ride to a cheaper rider).
+        let ejected =
+            matches!(assignment, Assignment::Create) && !requests[i].candidates.is_empty();
         if let Assignment::Book(c) = assignment {
             if let Some(m) = all_matches[i].get(c) {
                 let _phase = xar_obs::trace::span("sim.book");
@@ -582,13 +718,25 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
                 report.book_ns.push(ns);
                 pm.book_h.record(ns);
                 if matches!(res, BookResult::Booked { .. }) {
-                    record_booked(report, pm, pending, trip, requests[i].candidates[c].ride, res, ctx);
+                    ev.book_ns = ns;
+                    record_booked(
+                        report,
+                        pm,
+                        pending,
+                        trip,
+                        requests[i].candidates[c].ride,
+                        res,
+                        ctx,
+                        &mut ev,
+                    );
                     booked = true;
                     dirty = true;
                     troot.attr("outcome", "booked");
                 } else {
                     // The candidate went stale within the window.
                     assignment_failed = true;
+                    stale_commit = true;
+                    ev.stale += 1;
                     dm.stale_commits.inc();
                     report.stale_commits += 1;
                     xar_obs::trace::instant(
@@ -606,6 +754,7 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
             // invalidated, or earlier commits changed the engine.
             if assignment_failed || dirty {
                 let fresh = timed_search(backend, trip, cfg, report, pm);
+                ev.searches += 1;
                 report.matches_returned += fresh.len() as u64;
                 for m in &fresh {
                     let _phase = xar_obs::trace::span("sim.book");
@@ -615,13 +764,18 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
                     report.book_ns.push(ns);
                     pm.book_h.record(ns);
                     if matches!(res, BookResult::Booked { .. }) {
-                        record_booked(report, pm, pending, trip, B::describe(m).ride, res, ctx);
+                        ev.book_ns = ns;
+                        record_booked(report, pm, pending, trip, B::describe(m).ride, res, ctx, &mut ev);
                         booked = true;
                         dirty = true;
                         troot.attr("outcome", "booked");
                         break;
                     }
+                    if let BookResult::Failed(r) = res {
+                        last_book_failure = Some(r);
+                    }
                     report.stale_matches += 1;
+                    ev.stale += 1;
                     xar_obs::trace::instant(
                         "request.rejected",
                         AttrList::new().with("stale", 1u64),
@@ -629,13 +783,24 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
                 }
             }
             if !booked {
-                let ok = timed_create(backend, trip, cfg, report, pm);
-                if ok {
+                let res = timed_create(backend, trip, cfg, report, pm);
+                if res.is_ok() {
                     dirty = true;
                 }
-                troot.attr("outcome", if ok { "created" } else { "unservable" });
+                ev.outcome = if res.is_ok() { "created" } else { "unservable" };
+                let reason = rejection_reason(
+                    res.err(),
+                    stale_commit,
+                    ejected,
+                    last_book_failure,
+                    &explains[i],
+                );
+                ev.reason = reason.code();
+                pm.reject(reason);
+                troot.attr("outcome", ev.outcome);
             }
         }
+        events::emit(ev);
     }
 
     let elapsed = t0.elapsed().as_nanos() as u64;

@@ -30,7 +30,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use xar_core::{RideMatch, RideOffer, RideRequest, ShardedXarEngine};
+use xar_core::{Reason, RideMatch, RideOffer, RideRequest, SearchExplain, ShardedXarEngine};
 use xar_obs::Registry;
 
 use crate::dispatch::{Candidate, DispatchSpec};
@@ -46,6 +46,15 @@ pub trait ConcurrentBackend: Sync {
 
     /// Search for rides serving `trip`; up to `k` matches, best first.
     fn search(&self, trip: &Trip, cfg: &SimConfig) -> Vec<Self::Match>;
+    /// [`ConcurrentBackend::search`] with rejection attribution — see
+    /// [`RideBackend::search_explained`]. The default wraps plain
+    /// `search` with a synthetic explain (candidates = matches).
+    fn search_explained(&self, trip: &Trip, cfg: &SimConfig) -> (Vec<Self::Match>, SearchExplain) {
+        let matches = self.search(trip, cfg);
+        let explain =
+            SearchExplain { candidates: matches.len() as u32, ..SearchExplain::default() };
+        (matches, explain)
+    }
     /// Book a match; [`BookResult::Failed`] if it went stale.
     fn book(&self, m: &Self::Match, cfg: &SimConfig) -> BookResult;
     /// Book after re-validating feasibility against the live engine —
@@ -58,8 +67,9 @@ pub trait ConcurrentBackend: Sync {
     fn describe(_m: &Self::Match) -> Candidate {
         Candidate { ride: 0, score: 0.0, detour_m: 0.0 }
     }
-    /// Offer `trip` as a new ride; `false` if it could not be created.
-    fn create(&self, trip: &Trip, cfg: &SimConfig) -> bool;
+    /// Offer `trip` as a new ride; on failure, the typed [`Reason`]
+    /// the request becomes unservable with.
+    fn create(&self, trip: &Trip, cfg: &SimConfig) -> Result<(), Reason>;
     /// Advance the system clock (tracking sweep).
     fn track(&self, now_s: f64);
     /// The backend's metric registry, when it keeps one.
@@ -88,6 +98,9 @@ impl<B: ConcurrentBackend> RideBackend for WorkerBackend<'_, B> {
     fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<B::Match> {
         self.inner.search(trip, cfg)
     }
+    fn search_explained(&mut self, trip: &Trip, cfg: &SimConfig) -> (Vec<B::Match>, SearchExplain) {
+        self.inner.search_explained(trip, cfg)
+    }
     fn book(&mut self, m: &B::Match, cfg: &SimConfig) -> BookResult {
         self.inner.book(m, cfg)
     }
@@ -97,7 +110,7 @@ impl<B: ConcurrentBackend> RideBackend for WorkerBackend<'_, B> {
     fn describe(m: &B::Match) -> Candidate {
         B::describe(m)
     }
-    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool {
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> Result<(), Reason> {
         self.inner.create(trip, cfg)
     }
     fn track(&mut self, now_s: f64) {
@@ -142,39 +155,32 @@ impl ConcurrentBackend for ShardedXarBackend {
         self.engine.search(&Self::request(trip, cfg), cfg.k).unwrap_or_default()
     }
 
-    fn book(&self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
-        match self.engine.book(m) {
-            Ok(out) => BookResult::Booked {
-                actual_detour_m: out.actual_detour_m,
-                estimated_detour_m: out.estimated_detour_m,
-                walk_m: out.walk_total_m,
-                budget_before_m: out.detour_budget_before_m,
-                pickup_eta_s: out.pickup_eta_s,
-                dropoff_eta_s: out.dropoff_eta_s,
-            },
-            Err(_) => BookResult::Failed,
+    fn search_explained(&self, trip: &Trip, cfg: &SimConfig) -> (Vec<RideMatch>, SearchExplain) {
+        let mut explain = SearchExplain::default();
+        let mut out = Vec::new();
+        if self
+            .engine
+            .search_into_explained(&Self::request(trip, cfg), cfg.k, &mut out, &mut explain)
+            .is_err()
+        {
+            out.clear();
         }
+        (out, explain)
+    }
+
+    fn book(&self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
+        crate::backend::book_result(self.engine.book(m))
     }
 
     fn book_checked(&self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
-        match self.engine.book_checked(m) {
-            Ok(out) => BookResult::Booked {
-                actual_detour_m: out.actual_detour_m,
-                estimated_detour_m: out.estimated_detour_m,
-                walk_m: out.walk_total_m,
-                budget_before_m: out.detour_budget_before_m,
-                pickup_eta_s: out.pickup_eta_s,
-                dropoff_eta_s: out.dropoff_eta_s,
-            },
-            Err(_) => BookResult::Failed,
-        }
+        crate::backend::book_result(self.engine.book_checked(m))
     }
 
     fn describe(m: &RideMatch) -> Candidate {
         Candidate { ride: m.ride.0, score: m.walk_total_m(), detour_m: m.detour_est_m }
     }
 
-    fn create(&self, trip: &Trip, cfg: &SimConfig) -> bool {
+    fn create(&self, trip: &Trip, cfg: &SimConfig) -> Result<(), Reason> {
         self.engine
             .create_ride(&RideOffer {
                 source: trip.pickup,
@@ -185,7 +191,8 @@ impl ConcurrentBackend for ShardedXarBackend {
                 driver: None,
                 via: Vec::new(),
             })
-            .is_ok()
+            .map(|_| ())
+            .map_err(|e| e.reason())
     }
 
     fn track(&self, now_s: f64) {
@@ -419,11 +426,11 @@ mod tests {
             Vec::new()
         }
         fn book(&self, _: &(), _: &SimConfig) -> BookResult {
-            BookResult::Failed
+            BookResult::Failed(Reason::StaleCommit)
         }
-        fn create(&self, _: &Trip, _: &SimConfig) -> bool {
+        fn create(&self, _: &Trip, _: &SimConfig) -> Result<(), Reason> {
             self.creates.fetch_add(1, Ordering::Relaxed);
-            true
+            Ok(())
         }
         fn track(&self, _: f64) {
             self.tracks.fetch_add(1, Ordering::Relaxed);

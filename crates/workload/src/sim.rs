@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use xar_core::{Reason, SearchExplain};
 use xar_obs::Registry;
 
 use crate::dispatch::{Candidate, DispatchPolicy, FirstMatch};
@@ -61,6 +62,22 @@ pub trait RideBackend {
 
     /// Search for rides serving `trip`; up to `k` matches, best first.
     fn search(&mut self, trip: &Trip, cfg: &SimConfig) -> Vec<Self::Match>;
+    /// [`RideBackend::search`], also reporting per-check rejection
+    /// attribution for the wide-event plane. The default wraps plain
+    /// `search` with a synthetic explain (candidates = matches), which
+    /// keeps the reason taxonomy closed — a matchless search decodes
+    /// to [`Reason::NoClusterCandidates`] — for backends that cannot
+    /// attribute more finely.
+    fn search_explained(
+        &mut self,
+        trip: &Trip,
+        cfg: &SimConfig,
+    ) -> (Vec<Self::Match>, SearchExplain) {
+        let matches = self.search(trip, cfg);
+        let explain =
+            SearchExplain { candidates: matches.len() as u32, ..SearchExplain::default() };
+        (matches, explain)
+    }
     /// Book a match; `false` if the booking failed (stale match).
     fn book(&mut self, m: &Self::Match, cfg: &SimConfig) -> BookResult;
     /// Book a match after re-validating its feasibility (seats +
@@ -78,9 +95,10 @@ pub trait RideBackend {
     fn describe(_m: &Self::Match) -> Candidate {
         Candidate { ride: 0, score: 0.0, detour_m: 0.0 }
     }
-    /// Offer `trip` as a new ride; `false` if the offer could not be
-    /// created (e.g. unroutable end-points).
-    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> bool;
+    /// Offer `trip` as a new ride; on failure, the typed
+    /// [`Reason`] the request becomes unservable with (e.g.
+    /// unroutable end-points).
+    fn create(&mut self, trip: &Trip, cfg: &SimConfig) -> Result<(), Reason>;
     /// Advance the system clock (tracking sweep).
     fn track(&mut self, now_s: f64);
     /// The backend's own metric registry, if it keeps one. When
@@ -120,9 +138,10 @@ pub enum BookResult {
         /// when unknown — T-Share does not expose it).
         dropoff_eta_s: f64,
     },
-    /// The match went stale (ride full / departed); the simulation
-    /// falls through to ride creation.
-    Failed,
+    /// The booking failed, with the typed [`Reason`] (ride full,
+    /// detour budget gone, departed, retired); the simulation falls
+    /// through to ride creation.
+    Failed(Reason),
 }
 
 /// Run the §X.A.2 protocol over `trips`: search; book the best match
@@ -184,7 +203,7 @@ mod tests {
         fn book(&mut self, _m: &(), _c: &SimConfig) -> BookResult {
             self.books += 1;
             if self.fail_first_booking && self.books == 1 {
-                BookResult::Failed
+                BookResult::Failed(Reason::CapacityFull)
             } else {
                 BookResult::Booked {
                     actual_detour_m: 10.0,
@@ -196,9 +215,9 @@ mod tests {
                 }
             }
         }
-        fn create(&mut self, _t: &Trip, _c: &SimConfig) -> bool {
+        fn create(&mut self, _t: &Trip, _c: &SimConfig) -> Result<(), Reason> {
             self.creates += 1;
-            true
+            Ok(())
         }
         fn track(&mut self, now: f64) {
             self.tracks.push(now);
@@ -263,10 +282,10 @@ mod tests {
             }
             fn book(&mut self, _: &(), _: &SimConfig) -> BookResult {
                 self.books += 1;
-                BookResult::Failed
+                BookResult::Failed(Reason::WindowExpired)
             }
-            fn create(&mut self, _: &Trip, _: &SimConfig) -> bool {
-                true
+            fn create(&mut self, _: &Trip, _: &SimConfig) -> Result<(), Reason> {
+                Ok(())
             }
             fn track(&mut self, _: f64) {}
         }

@@ -78,7 +78,7 @@ fn reference_decisions<B: RideBackend>(
         }
         let outcome = match booked {
             Some(ride) => DecisionOutcome::Booked { ride },
-            None if backend.create(trip, cfg) => DecisionOutcome::Created,
+            None if backend.create(trip, cfg).is_ok() => DecisionOutcome::Created,
             None => DecisionOutcome::Unservable,
         };
         out.push(Decision { trip_id: trip.id, outcome });

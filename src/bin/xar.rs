@@ -13,8 +13,9 @@
 //!              [--walk M] [--window S] [--detour M] [--json FILE]
 //!              [--metrics-out FILE] [--trace-out FILE]
 //!              [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N]
-//!              [--baseline tshare] [--threads N] [--shards N]
-//!              [--dispatch first|batch:MS] [--compress-day-s F]
+//!              [--events-out FILE] [--baseline tshare] [--threads N]
+//!              [--shards N] [--dispatch first|batch:MS]
+//!              [--compress-day-s F]
 //!     Run the paper's §X.A.2 ride-sharing simulation over a synthetic
 //!     taxi day and report outcome + latency statistics. `--json` dumps
 //!     the full report (counters, percentiles, metrics) as JSON;
@@ -32,9 +33,14 @@
 //!     requests through the batch-window assignment policy; invalid
 //!     values also exit 9. `--compress-day-s F` rescales the trip day
 //!     onto F seconds so millisecond windows hold real batches.
+//!     `--events-out FILE` turns on the wide-event sink and writes one
+//!     structured decision record per request (outcome, typed rejection
+//!     reason, search tier, candidate count, batch-window id,
+//!     latencies) as segmented JSONL — the input of `xar logs`.
 //!
 //! xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N]
 //!           [--threads LIST] [--min-scaling F] [--json FILE]
+//!           [--against FILE] [--tolerance F]
 //!     Engine scaling bench: build a small city in-process and replay
 //!     the same trip day through a fresh sharded engine at each worker
 //!     count in `--threads` (comma-separated, default `1,2,4,8`),
@@ -43,10 +49,15 @@
 //!     throughput below `F ×` the first point's, exits with code 7.
 //!     `--json` writes the curve machine-readably (the
 //!     `results/BENCH_engine.json` schema, see EXPERIMENTS.md).
+//!     `--against FILE` compares the fresh curve point-by-point against
+//!     a committed baseline curve of the same kind: any throughput drop
+//!     or latency growth beyond `--tolerance F` (fractional, default
+//!     0.5) exits with code 7; a missing/invalid baseline exits 2.
 //!
 //! xar bench --search [--rows N] [--cols N] [--seed S] [--trips N]
 //!           [--shards N] [--threads LIST] [--searches N]
 //!           [--max-p50-us F] [--max-p99-ratio F] [--json FILE]
+//!           [--against FILE] [--tolerance F]
 //!     Search-path micro-bench: populate one engine from three quarters
 //!     of the trip day, then measure the lock-free `search_into`
 //!     latency at each searcher count (constant `--searches` total per
@@ -55,6 +66,17 @@
 //!     median and `--max-p99-ratio F` the last point's p99 relative to
 //!     the first's (tail flatness); either breach exits with code 7.
 //!     `--json` writes the `results/BENCH_search.json` schema.
+//!
+//! xar logs --in events.jsonl [--outcome X] [--reason Y]
+//!          [--slower-than MS] [--request ID] [--top N]
+//!     Forensics over a `--events-out` file: per-request decision
+//!     records with outcome / rejection-reason / latency filters.
+//!     Prints the outcome and rejection-reason histograms, then the
+//!     matching records (slowest first, `--top N`, default 10, 0 =
+//!     all). `--request ID` answers "why was request R rejected" with
+//!     R's full record. Exit codes: 2 = unreadable / invalid file,
+//!     3 = no events (or none matching the filters), 9 = invalid
+//!     filter value.
 //!
 //! xar trace --in trace.json [--top N] [--check]
 //!     Print the N slowest request timelines (per-span self-time,
@@ -66,10 +88,11 @@
 //! xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]
 //!     Live terminal dashboard over a process started with
 //!     `xar simulate --serve ADDR`: scrapes `/metrics`, renders rolling
-//!     p50/p99/throughput, per-cluster ride occupancy, the snapshot
-//!     publication plane (publishes / freed / retire backlog), tail
-//!     latency exemplars (trace ids of the slowest recent requests)
-//!     and firing SLO alerts. `--frames N` exits after N refreshes
+//!     p50/p99/throughput, per-cluster ride occupancy, the
+//!     rejection-reason breakdown, the snapshot publication plane
+//!     (publishes / freed / retire backlog), tail latency exemplars
+//!     (trace ids of the slowest recent requests) and firing SLO
+//!     alerts. `--frames N` exits after N refreshes
 //!     (CI); `--plain` skips the ANSI screen clearing.
 //!
 //! xar profile --out FILE [--format collapsed|speedscope] [--alloc]
@@ -87,7 +110,8 @@
 //! Live operational flags on `simulate`: `--serve ADDR` starts the
 //! embedded ops-plane HTTP server (`/metrics` with OpenMetrics latency
 //! exemplars, `/snapshot`, `/health`, `/alerts`, `/debug/profile`,
-//! `/debug/epoch`, `/debug/shards`; `ADDR` may use port 0 — the bound
+//! `/debug/epoch`, `/debug/shards`, `/debug/events`; `ADDR` may use
+//! port 0 — the bound
 //! address is printed); `--slo RULE` (repeatable) installs burn-rate
 //! SLO rules (syntax in EXPERIMENTS.md); `--slo-fail` exits with code 8
 //! when any rule fired during the run; `--tick-ms N` sets the windowing
@@ -108,7 +132,9 @@ use xar_obs::window::{WindowConfig, WindowStore};
 use xar_obs::chrome::{export_chrome, parse_chrome, Attrs, Timeline};
 use xar_obs::json::JsonValue;
 use xar_obs::TraceConfig;
-use xhare_a_ride::core::{EngineConfig, ShardedXarEngine, XarEngine, DEFAULT_SHARDS, MAX_SHARDS};
+use xhare_a_ride::core::{
+    EngineConfig, Reason, ShardedXarEngine, XarEngine, DEFAULT_SHARDS, MAX_SHARDS,
+};
 use xhare_a_ride::discretize::{ClusterGoal, RegionConfig, RegionIndex};
 use xhare_a_ride::roadnet::{sample_pois, CityConfig, PoiConfig};
 use xhare_a_ride::tshare::{TShareConfig, TShareEngine};
@@ -208,7 +234,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--dispatch first|batch:MS] [--compress-day-s F] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--dispatch first|batch:MS] [--compress-day-s F] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--events-out FILE] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE] [--against FILE] [--tolerance F]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE] [--against FILE] [--tolerance F]\n  xar logs --in FILE [--outcome X] [--reason Y] [--slower-than MS] [--request ID] [--top N]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -358,6 +384,106 @@ fn parse_shards_flag(flags: &Flags) -> Result<usize, CmdError> {
     }
 }
 
+/// Parse `--tolerance` (fractional headroom for `--against`, default
+/// 0.5 = 50%); invalid values share the exit-code-9 contract.
+fn parse_tolerance_flag(flags: &Flags) -> Result<f64, CmdError> {
+    match flags.get_opt("tolerance") {
+        None => Ok(0.5),
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f.is_finite() && f > 0.0 => Ok(f),
+            _ => Err(CmdError::coded(
+                9,
+                format!("--tolerance must be a positive fraction (e.g. 0.5), got '{v}'"),
+            )),
+        },
+    }
+}
+
+/// `--against` regression gate: compare a freshly measured bench curve
+/// point-by-point against a committed baseline of the same kind.
+///
+/// `fresh` holds `(threads, [(metric key, value)])` per fresh point;
+/// `metrics` lists `(key, higher_is_worse)`. The tolerance is a ratio
+/// headroom symmetric in direction: latency (higher-is-worse) may grow
+/// to `base × (1 + tol)`, throughput may shrink to `base ÷ (1 + tol)` —
+/// well-defined for any positive tolerance, including the generous
+/// multiples CI uses to absorb cross-machine variance. Baseline points
+/// without a matching fresh `threads` value are skipped. Exit 2 = the
+/// baseline is unreadable, invalid, the wrong bench kind, or shares no
+/// point with the fresh curve; exit 7 = any metric regressed beyond
+/// the tolerance.
+fn gate_against_baseline(
+    path: &str,
+    kind: &str,
+    tolerance: f64,
+    fresh: &[(u64, Vec<(&'static str, f64)>)],
+    metrics: &[(&'static str, bool)],
+) -> Result<(), CmdError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CmdError::coded(2, format!("cannot read baseline {path}: {e}")))?;
+    let doc = xar_obs::json::parse(&text)
+        .map_err(|e| CmdError::coded(2, format!("{path}: invalid baseline JSON: {e}")))?;
+    let bench = doc.get("bench").and_then(|b| b.as_str()).unwrap_or_default();
+    if bench != kind {
+        return Err(CmdError::coded(
+            2,
+            format!("{path}: baseline bench kind is '{bench}', this run produces '{kind}'"),
+        ));
+    }
+    let base_points = doc
+        .get("points")
+        .and_then(|p| p.as_array())
+        .ok_or_else(|| CmdError::coded(2, format!("{path}: baseline has no points array")))?;
+
+    let mut compared = 0usize;
+    let mut breaches: Vec<String> = Vec::new();
+    for bp in base_points {
+        let Some(threads) = bp.get("threads").and_then(|t| t.as_u64()) else { continue };
+        let Some((_, values)) = fresh.iter().find(|(t, _)| *t == threads) else {
+            println!("against        : baseline point threads={threads} has no fresh match, skipped");
+            continue;
+        };
+        for &(key, higher_is_worse) in metrics {
+            let Some(base) = bp.get(key).and_then(|v| v.as_f64()) else { continue };
+            let Some(&(_, new)) = values.iter().find(|(k, _)| *k == key) else { continue };
+            if base <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let (bound, breached, dir) = if higher_is_worse {
+                (base * (1.0 + tolerance), new > base * (1.0 + tolerance), "max")
+            } else {
+                (base / (1.0 + tolerance), new < base / (1.0 + tolerance), "min")
+            };
+            println!(
+                "against        : threads={threads} {key} {new:.0} vs baseline {base:.0} \
+                 ({dir} {bound:.0}){}",
+                if breached { "  REGRESSION" } else { "" },
+            );
+            if breached {
+                breaches.push(format!(
+                    "threads={threads} {key} {new:.0} breaches {dir} {bound:.0} \
+                     (baseline {base:.0}, tolerance {tolerance})"
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        return Err(CmdError::coded(
+            2,
+            format!("{path}: baseline shares no comparable point with this run"),
+        ));
+    }
+    if !breaches.is_empty() {
+        return Err(CmdError::coded(
+            7,
+            format!("bench regression vs {path}: {}", breaches.join("; ")),
+        ));
+    }
+    println!("against        : {path} ok ({compared} comparisons within {tolerance}x headroom)");
+    Ok(())
+}
+
 /// The simulation's system under test: the serial single-engine
 /// backend (default; carries the full request-tracing path) or the
 /// sharded engine driven by N closed-loop workers.
@@ -381,6 +507,11 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
     let window: f64 = flags.get("window", 1_200.0)?;
     let detour: f64 = flags.get("detour", 4_000.0)?;
 
+    let events_out = flags.get_opt("events-out").map(str::to_string);
+    if events_out.is_some() {
+        xar_obs::events::configure(xar_obs::events::DEFAULT_CAPACITY);
+        xar_obs::events::set_enabled(true);
+    }
     let trace_out = flags.get_opt("trace-out").map(str::to_string);
     if trace_out.is_some() {
         let slow_ms: f64 = flags.get("trace-slow-ms", 1.0)?;
@@ -515,6 +646,21 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
         }
         SimUnderTest::Parallel(b) => run_parallel_dispatch(&*b, &trips, &cfg, threads, dispatch),
     };
+
+    // Snapshot the wide-event plane before the baseline replay so the
+    // file covers exactly the system under test.
+    if let Some(path) = &events_out {
+        xar_obs::events::set_enabled(false);
+        let snap = xar_obs::events::snapshot();
+        std::fs::write(path, xar_obs::events::to_jsonl(&snap))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "events         : {path} ({} of {} events kept, {} dropped)",
+            snap.kept(),
+            snap.emitted,
+            snap.dropped,
+        );
+    }
 
     println!("trips          : {}", trips.len());
     // Machine-read by the CI dispatch gate — keep the line shape stable.
@@ -743,6 +889,29 @@ fn bench(flags: &Flags) -> Result<(), CmdError> {
             ));
         }
     }
+    if let Some(base) = flags.get_opt("against") {
+        let tol = parse_tolerance_flag(flags)?;
+        let fresh: Vec<(u64, Vec<(&'static str, f64)>)> = points
+            .iter()
+            .map(|p| {
+                (
+                    p.threads as u64,
+                    vec![
+                        ("requests_per_s", p.requests_per_s),
+                        ("search_p50_ns", p.search_p50_ns),
+                        ("search_p99_ns", p.search_p99_ns),
+                    ],
+                )
+            })
+            .collect();
+        gate_against_baseline(
+            base,
+            "engine_scaling",
+            tol,
+            &fresh,
+            &[("requests_per_s", false), ("search_p50_ns", true), ("search_p99_ns", true)],
+        )?;
+    }
     Ok(())
 }
 
@@ -853,6 +1022,25 @@ fn bench_search(flags: &Flags) -> Result<(), CmdError> {
                 ),
             ));
         }
+    }
+    if let Some(base) = flags.get_opt("against") {
+        let tol = parse_tolerance_flag(flags)?;
+        let fresh: Vec<(u64, Vec<(&'static str, f64)>)> = points
+            .iter()
+            .map(|p| {
+                (
+                    p.threads as u64,
+                    vec![("search_p50_ns", p.p50_ns), ("search_p99_ns", p.p99_ns)],
+                )
+            })
+            .collect();
+        gate_against_baseline(
+            base,
+            "search_microbench",
+            tol,
+            &fresh,
+            &[("search_p50_ns", true), ("search_p99_ns", true)],
+        )?;
     }
     Ok(())
 }
@@ -970,6 +1158,144 @@ fn trace_cmd(flags: &Flags) -> Result<(), CmdError> {
                 attr_line(attrs),
             );
         }
+    }
+    Ok(())
+}
+
+/// Render one parsed wide event as a single forensics line.
+fn event_line(e: &xar_obs::events::ParsedEvent) -> String {
+    let mut line = format!(
+        "req {:<8} t={:>8.1}s  {:<10} reason={:<24} tier={} cand={:<4} matches={:<3} \
+         stale={:<2} window={:<5} search={:>8.1}µs book={:>7.1}µs",
+        e.request_id,
+        e.sim_t_s,
+        e.outcome,
+        e.reason,
+        e.tier,
+        e.candidates,
+        e.matches,
+        e.stale,
+        e.window,
+        e.search_ns as f64 / 1e3,
+        e.book_ns as f64 / 1e3,
+    );
+    if let Some(ride) = e.ride {
+        line.push_str(&format!(
+            "  ride={ride} walk={:.0}m detour={:.0}m wait={:.0}s",
+            e.walk_m, e.detour_m, e.wait_s
+        ));
+    }
+    line
+}
+
+/// `xar logs`: query a `--events-out` JSONL file. Prints the outcome
+/// and rejection-reason histograms plus the matching records, slowest
+/// (search + book time) first. Exit codes: 2 = unreadable / invalid
+/// file, 3 = no events (or none matching the filters), 9 = invalid
+/// filter value.
+fn logs_cmd(flags: &Flags) -> Result<(), CmdError> {
+    let path = flags.require("in")?;
+
+    // Validate filters before touching the file so a bad invocation
+    // fails fast with its distinct code.
+    let outcome = match flags.get_opt("outcome") {
+        None => None,
+        Some(v) if ["booked", "created", "unservable"].contains(&v) => Some(v.to_string()),
+        Some(v) => {
+            return Err(CmdError::coded(
+                9,
+                format!("--outcome must be booked|created|unservable, got '{v}'"),
+            ))
+        }
+    };
+    let reason = match flags.get_opt("reason") {
+        None => None,
+        // Accept exactly the closed taxonomy ("unknown" included — a
+        // healthy file has none, which is precisely what one greps for).
+        Some(v) if Reason::from_code(v).code() == v => Some(v.to_string()),
+        Some(v) => {
+            let all: Vec<&str> = Reason::ALL.iter().map(|r| r.code()).collect();
+            return Err(CmdError::coded(
+                9,
+                format!("--reason '{v}' is not in the taxonomy ({})", all.join(", ")),
+            ));
+        }
+    };
+    let slower_than_ns = match flags.get_opt("slower-than") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(ms) if ms.is_finite() && ms >= 0.0 => Some((ms * 1e6) as u64),
+            _ => {
+                return Err(CmdError::coded(
+                    9,
+                    format!("--slower-than must be a non-negative number of ms, got '{v}'"),
+                ))
+            }
+        },
+    };
+    let request: Option<u64> = match flags.get_opt("request") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(id) => Some(id),
+            Err(_) => {
+                return Err(CmdError::coded(
+                    9,
+                    format!("--request must be a numeric request id, got '{v}'"),
+                ))
+            }
+        },
+    };
+    let top: usize = flags
+        .get_opt("top")
+        .map_or(Ok(10), |v| {
+            v.parse().map_err(|_| {
+                CmdError::coded(9, format!("--top must be a non-negative integer, got '{v}'"))
+            })
+        })?;
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CmdError::coded(2, format!("cannot read {path}: {e}")))?;
+    let log = xar_obs::events::parse_jsonl(&text)
+        .map_err(|e| CmdError::coded(2, format!("{path}: {e}")))?;
+    if log.events.is_empty() {
+        return Err(CmdError::coded(3, format!("{path}: no events recorded")));
+    }
+
+    println!(
+        "{path}: {} events kept of {} emitted ({} dropped)",
+        log.events.len(),
+        log.emitted,
+        log.dropped,
+    );
+    let fmt_hist = |hist: &[(String, u64)]| {
+        hist.iter().map(|(k, n)| format!("{k} {n}")).collect::<Vec<_>>().join("   ")
+    };
+    println!("outcomes       : {}", fmt_hist(&log.outcome_histogram()));
+    let rejections: Vec<(String, u64)> = log
+        .reason_histogram()
+        .into_iter()
+        .filter(|(r, _)| r != Reason::Served.code())
+        .collect();
+    if !rejections.is_empty() {
+        println!("rejections     : {}", fmt_hist(&rejections));
+    }
+
+    let mut matched: Vec<&xar_obs::events::ParsedEvent> = log
+        .events
+        .iter()
+        .filter(|e| outcome.as_deref().is_none_or(|o| e.outcome == o))
+        .filter(|e| reason.as_deref().is_none_or(|r| e.reason == r))
+        .filter(|e| slower_than_ns.is_none_or(|ns| e.search_ns + e.book_ns > ns))
+        .filter(|e| request.is_none_or(|id| e.request_id == id))
+        .collect();
+    if matched.is_empty() {
+        return Err(CmdError::coded(3, format!("{path}: no events match the filters")));
+    }
+    matched.sort_by_key(|e| std::cmp::Reverse(e.search_ns + e.book_ns));
+    let shown = if top == 0 { matched.len() } else { top.min(matched.len()) };
+    println!("matched        : {} event(s), showing {shown} (slowest first)", matched.len());
+    for e in matched.iter().take(shown) {
+        println!("  {}", event_line(e));
     }
     Ok(())
 }
@@ -1124,6 +1450,24 @@ fn render_top_frame(p: &xar_obs::promtext::PromText) -> String {
         let _ = write!(out, "   {o} {v:.0}");
     }
     out.push('\n');
+
+    // Rejection-reason breakdown (the wide-event taxonomy, counted by
+    // the dispatch pipeline into sim_reject_reason{reason=...}).
+    let mut rejects: Vec<(String, f64)> = p
+        .with_name("sim_reject_reason")
+        .filter_map(|s| s.label("reason").map(|r| (r.to_string(), s.value)))
+        .filter(|&(_, v)| v > 0.0)
+        .collect();
+    rejects.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    if !rejects.is_empty() {
+        out.push_str("rejections:");
+        for (r, v) in &rejects {
+            let _ = write!(out, "  {r}={v:.0}");
+        }
+        out.push('\n');
+    }
 
     // Rolling windows: group xar_rolling samples by (metric, window).
     let mut metrics: Vec<String> = Vec::new();
@@ -1307,6 +1651,7 @@ fn main() -> ExitCode {
         "inspect" => inspect(&flags).map_err(CmdError::from),
         "simulate" => simulate(&flags),
         "bench" => bench(&flags),
+        "logs" => logs_cmd(&flags),
         "trace" => trace_cmd(&flags),
         "top" => top_cmd(&flags),
         "profile" => profile_cmd(&flags),

@@ -2,11 +2,13 @@
 //! and operators branch on these, so a renumbering is a breaking
 //! change. 0 = ok, 1 = generic error, 2 = unreadable / invalid trace
 //! JSON, 3 = trace with no complete request timeline, 4 = trace
-//! missing the drop counter, 7 = `bench` capacity/scaling gate,
-//! 8 = `--slo-fail` with a fired SLO, 9 = invalid `--threads` /
-//! `--shards` / `--dispatch` / `--compress-day-s` value, 10 =
-//! `--max-backlog` snapshot retire-backlog gate. The full table lives
-//! in README.md § Exit codes.
+//! missing the drop counter, 7 = `bench` capacity/scaling/`--against`
+//! gate, 8 = `--slo-fail` with a fired SLO, 9 = invalid `--threads` /
+//! `--shards` / `--dispatch` / `--compress-day-s` / `--tolerance` /
+//! `xar logs` filter value, 10 = `--max-backlog` snapshot
+//! retire-backlog gate. `xar logs` reuses 2 (unreadable / invalid
+//! events file) and 3 (no events, or none matching the filters). The
+//! full table lives in README.md § Exit codes.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -285,4 +287,136 @@ fn profile_writes_validated_artifacts_in_both_formats() {
     // An unknown format is rejected before any simulation runs.
     let out = xar(&["profile", "--out", collapsed.to_str().unwrap(), "--format", "svg"]);
     assert_eq!(code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn logs_exit_codes_are_distinct_per_failure_class() {
+    let dir = scratch("logs_codes");
+
+    // 2: file unreadable.
+    let out = xar(&["logs", "--in", dir.join("missing.jsonl").to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // 2: not a valid events file.
+    let bad = dir.join("bad.jsonl");
+    write(&bad, "this is not an events file");
+    let out = xar(&["logs", "--in", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // 3: structurally valid file with zero events.
+    let empty = dir.join("empty.jsonl");
+    write(
+        &empty,
+        "{\"type\":\"meta\",\"version\":1,\"segment_len\":4096}\n\
+         {\"type\":\"drops\",\"emitted\":0,\"dropped\":0,\"kept\":0}\n",
+    );
+    let out = xar(&["logs", "--in", empty.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{out:?}");
+
+    // 9: invalid filter values, each naming the offending flag. These
+    // are validated before the file is opened.
+    let missing = dir.join("missing.jsonl").to_str().unwrap().to_string();
+    for args in [
+        ["logs", "--in", &missing, "--outcome", "rejected"],
+        ["logs", "--in", &missing, "--reason", "bad_luck"],
+        ["logs", "--in", &missing, "--slower-than", "fast"],
+        ["logs", "--in", &missing, "--slower-than", "-5"],
+        ["logs", "--in", &missing, "--request", "abc"],
+        ["logs", "--in", &missing, "--top", "-1"],
+    ] {
+        let out = xar(&args);
+        assert_eq!(code(&out), 9, "{args:?} -> {out:?}");
+        let msg = String::from_utf8_lossy(&out.stderr);
+        assert!(msg.contains(args[3].trim_start_matches('-')), "{args:?}: {msg}");
+    }
+
+    // 1: missing required flag.
+    let out = xar(&["logs"]);
+    assert_eq!(code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn logs_answers_why_for_every_unserved_request_of_a_real_run() {
+    let dir = scratch("logs_real");
+    let region = dir.join("region.xarr");
+    let out = xar(&[
+        "build-region", "--rows", "14", "--cols", "14", "--seed", "21", "--clusters", "10",
+        "--out", region.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "build-region failed: {out:?}");
+
+    // A batch-dispatch run with the event sink on writes the JSONL file
+    // and reports conserved accounting on stdout.
+    let events = dir.join("events.jsonl");
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--trips", "400",
+        "--dispatch", "batch:50", "--compress-day-s", "5",
+        "--events-out", events.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("events         :"), "{stdout}");
+
+    // The healthy path: the file parses, histograms print, exit 0.
+    let out = xar(&["logs", "--in", events.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("outcomes       :"), "{summary}");
+
+    // The acceptance property: every unserved request carries a typed
+    // reason — filtering for reason=unknown matches nothing (exit 3).
+    let out = xar(&["logs", "--in", events.to_str().unwrap(), "--reason", "unknown"]);
+    assert_eq!(code(&out), 3, "unknown reasons leaked into a real run: {out:?}");
+
+    // And any single request id can be interrogated (exit 0 when the
+    // id exists in the file, with its full record printed).
+    let out = xar(&["logs", "--in", events.to_str().unwrap(), "--request", "0"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let record = String::from_utf8_lossy(&out.stdout);
+    assert!(record.contains("req 0"), "{record}");
+}
+
+#[test]
+fn bench_against_gate_exit_codes() {
+    let dir = scratch("bench_against");
+
+    // 2: baseline unreadable / wrong bench kind.
+    let out = xar(&[
+        "bench", "--rows", "10", "--cols", "10", "--trips", "60", "--threads", "1",
+        "--against", dir.join("missing.json").to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // 9: invalid tolerance, validated without measuring anything new…
+    // (the flag gate runs after the measurement, so keep the run tiny).
+    let out = xar(&[
+        "bench", "--rows", "10", "--cols", "10", "--trips", "60", "--threads", "1",
+        "--against", dir.join("missing.json").to_str().unwrap(), "--tolerance", "nope",
+    ]);
+    assert_eq!(code(&out), 9, "{out:?}");
+
+    // Self-comparison: a fresh curve written then compared against
+    // itself passes any tolerance (exit 0), and an absurdly tight
+    // tolerance cannot fail a literal self-match either.
+    let json = dir.join("self.json");
+    let out = xar(&[
+        "bench", "--rows", "10", "--cols", "10", "--trips", "60", "--threads", "1",
+        "--json", json.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+
+    // 7: an impossible baseline (absurd throughput, zero-ish latency)
+    // must trip the regression gate.
+    let impossible = dir.join("impossible.json");
+    write(
+        &impossible,
+        r#"{"bench":"engine_scaling","points":[{"threads":1,"requests_per_s":1e15,"search_p50_ns":0.001,"search_p99_ns":0.001}]}"#,
+    );
+    let out = xar(&[
+        "bench", "--rows", "10", "--cols", "10", "--trips", "60", "--threads", "1",
+        "--against", impossible.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 7, "{out:?}");
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("regression"), "{msg}");
 }

@@ -1,0 +1,120 @@
+//! Write-path micro-benchmark — `results/BENCH_write.json`.
+//!
+//! Isolates the booking write path: for each point a fresh
+//! [`xar_core::ShardedXarEngine`] is filled with pure ride creates,
+//! then a fixed-size booking storm (search untimed, `book_checked`
+//! timed) is replayed twice — once under the default incremental
+//! snapshot publication and once with every publish forced down the
+//! full-rebuild path. Each point fuses both runs (DESIGN.md §5f).
+//!
+//! The claim under test: incremental publish cost tracks the *dirty
+//! clusters* a booking touches, not the shard's ride count. The sweep
+//! holds ride density constant — the city side grows as √mult, so
+//! `rides` and `clusters` grow 8× together while the detour-budget-
+//! bounded dirty set stays fixed. `publish_p50_ns` should stay
+//! flat-ish across the sweep while `full_publish_p50_ns` climbs with
+//! the shard. On a one-core container percentiles absorb scheduler
+//! preemption — read the curve against the recorded `"cores"` field
+//! (EXPERIMENTS.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p xar-bench --bin bench_write [-- out.json] [--scale F]
+//! ```
+
+use xar_bench::{scale_arg, BenchCity};
+use xar_core::EngineConfig;
+use xar_workload::{
+    generate_trips, run_write_point, write_curve_json, SimConfig, TripGenConfig, WritePoint,
+};
+
+/// Population multipliers: each point populates `evens.len() * m /
+/// MAX_MULT` rides into a city whose side is `BASE_SIDE * sqrt(m)`, so
+/// rides-per-cluster stays constant across the sweep.
+const POP_MULTS: [usize; 4] = [1, 2, 4, 8];
+const MAX_MULT: usize = 8;
+const SHARDS: usize = 8;
+const BASE_SIDE: f64 = 40.0;
+const BASE_TRIPS: usize = 8_000;
+const BASE_STORM: usize = 1_500;
+/// Crow-flies trip-length cap, metres. Constant across the sweep: as
+/// the city grows, trips (and so ride routes and their cluster
+/// fan-out) stay metropolitan-local instead of stretching with the
+/// map — otherwise longer routes would grow the dirty set and mask
+/// the flat incremental-publish curve the bench demonstrates.
+const MAX_TRIP_M: f64 = 2_500.0;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "results/BENCH_write.json".to_string());
+    let scale = scale_arg();
+
+    // Tight detour budgets keep each ride's reachable-cluster set — and
+    // therefore each booking's dirty set — small relative to the
+    // region, which is the regime incremental publication exists for
+    // (the default 4 km budget reaches most of the base city, where
+    // `publish_shard`'s heuristic correctly prefers full rebuilds).
+    let cfg = SimConfig { detour_limit_m: 1_200.0, ..SimConfig::default() };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("bench_write: base side {BASE_SIDE}, {SHARDS} shards, {cores} core(s)");
+
+    let mut points: Vec<WritePoint> = Vec::new();
+    let (mut trips_len, mut storm_len_seen) = (0usize, 0usize);
+    for m in POP_MULTS {
+        let side = (BASE_SIDE * (m as f64).sqrt()).round() as usize;
+        let city = BenchCity::sized(side, side);
+        let region = city.region_delta(250.0);
+        let count = ((BASE_TRIPS as f64 * scale) as usize).max(50);
+        let trips = generate_trips(
+            &city.graph,
+            &TripGenConfig { count, max_trip_m: MAX_TRIP_M, ..Default::default() },
+        );
+        trips_len = trips.len();
+
+        // Trips are time-sorted, so populations and the storm are drawn
+        // by striding — every subset spans the whole day and the
+        // storm's request windows always overlap live rides (a
+        // head/tail split would book against departed rides only).
+        let evens: Vec<_> = trips.iter().step_by(2).copied().collect();
+        let odds: Vec<_> = trips.iter().skip(1).step_by(2).copied().collect();
+        let storm_len = ((BASE_STORM as f64 * scale) as usize).clamp(50, odds.len());
+        let storm: Vec<_> =
+            odds.iter().step_by((odds.len() / storm_len).max(1)).copied().collect();
+        storm_len_seen = storm.len();
+        let populate: Vec<_> = evens.iter().step_by(MAX_MULT / m).copied().collect();
+
+        let p =
+            run_write_point(&region, &EngineConfig::default(), &populate, &storm, &cfg, SHARDS, m);
+        eprintln!(
+            "  {side}x{side} ({} clusters), {} rides: book p50 {:.1} µs | publish p50 {:.1} µs \
+             (full {:.1} µs), {:.1} dirty clusters/publish, {} partial",
+            p.clusters,
+            p.rides,
+            p.book_p50_ns / 1e3,
+            p.publish_p50_ns / 1e3,
+            p.full_publish_p50_ns / 1e3,
+            p.dirty_clusters_mean,
+            p.partial_publishes
+        );
+        points.push(p);
+    }
+
+    let meta = [
+        ("base_side", BASE_SIDE),
+        ("trips", trips_len as f64),
+        ("storm", storm_len_seen as f64),
+        ("scale", scale),
+        ("shards", SHARDS as f64),
+    ];
+    let json = write_curve_json(&meta, cores, &points);
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write write curve");
+    println!("{json}");
+    println!("# written to {out_path}");
+}

@@ -264,6 +264,10 @@ impl XarEngine {
             let from = ride.progress_idx;
             XarEngine::index_ride(&region, &config, ride, index, from);
         });
+        // Seats and remaining detour budget changed but the ride set
+        // did not: the next publish can patch this ride's row in the
+        // snapshot table instead of rebuilding it.
+        self.mark_ride_updated(m.ride);
         self.bump_state_version();
         self.stats.bookings.inc();
         // Per-cluster labeled series (successful bookings only): the

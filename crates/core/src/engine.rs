@@ -160,8 +160,41 @@ pub struct XarEngine {
     /// sharded engine compares it against the version of the last
     /// published [`crate::ShardSnapshot`] to skip no-op republishes.
     state_version: u64,
+    /// Whether the ride *set* changed since the last publish (create /
+    /// retire): the snapshot's ride table must be rebuilt from scratch.
+    /// Cleared by [`XarEngine::drain_publish_dirt`]. Cluster-level dirt
+    /// lives in the index's dirty set.
+    rides_structural: bool,
+    /// Rides whose seats / detour budget changed since the last publish
+    /// while the ride set stayed fixed (bookings): the snapshot's ride
+    /// table can be patched in place instead of rebuilt, keeping the
+    /// publish cost independent of the shard's ride count. Superseded
+    /// by `rides_structural` when set.
+    rides_updated: Vec<RideId>,
+    /// Rides retired (completed/expired) since the last publish —
+    /// drained into the `snapshot.compacted_rides` counter so the
+    /// memory-bound story (ROADMAP item 5) is observable.
+    pending_compactions: u64,
     pub(crate) stats: EngineStats,
     pub(crate) metrics: EngineMetrics,
+}
+
+/// How the per-ride state columns changed since the last publish —
+/// drained by [`XarEngine::drain_publish_dirt`] and consumed by
+/// [`crate::ShardSnapshot::build_incremental`] to pick the cheapest
+/// valid way of producing the next snapshot's ride table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RideDirt {
+    /// No ride's seats / budget / liveness changed (tracking-only
+    /// publish): share the previous table by `Arc`.
+    Clean,
+    /// The ride *set* is unchanged but these rides' seats / detour
+    /// budget moved (bookings): patch the previous table's columns in
+    /// place — O(updated) lookups plus per-column memcpys, no
+    /// collect-and-sort over the whole shard.
+    Updated(Vec<RideId>),
+    /// Rides were created or retired: rebuild the table from scratch.
+    Structural,
 }
 
 impl XarEngine {
@@ -183,6 +216,9 @@ impl XarEngine {
             next_id: 1,
             id_stride: 1,
             state_version: 0,
+            rides_structural: false,
+            rides_updated: Vec::new(),
+            pending_compactions: 0,
             stats,
             metrics,
         }
@@ -201,6 +237,41 @@ impl XarEngine {
     #[inline]
     pub(crate) fn bump_state_version(&mut self) {
         self.state_version += 1;
+    }
+
+    /// Record that `id`'s seats / detour budget changed while the ride
+    /// set stayed fixed (see the `rides_updated` field). Booking calls
+    /// this from its own module. A no-op once structural dirt is
+    /// pending — the table is rebuilt from scratch then anyway.
+    #[inline]
+    pub(crate) fn mark_ride_updated(&mut self, id: RideId) {
+        if !self.rides_structural && self.rides_updated.last() != Some(&id) {
+            self.rides_updated.push(id);
+        }
+    }
+
+    /// Drain everything a publish needs to patch the previous snapshot:
+    /// the dirty cluster ids, how the ride table changed, and how many
+    /// rides were compacted away since the last drain. Leaves the
+    /// engine clean — the caller must actually publish.
+    pub(crate) fn drain_publish_dirt(&mut self) -> (Vec<u32>, RideDirt, u64) {
+        let clusters = self.index.drain_dirty();
+        let compacted = std::mem::replace(&mut self.pending_compactions, 0);
+        let rides = if std::mem::replace(&mut self.rides_structural, false) {
+            self.rides_updated.clear();
+            RideDirt::Structural
+        } else if self.rides_updated.is_empty() {
+            RideDirt::Clean
+        } else {
+            RideDirt::Updated(std::mem::take(&mut self.rides_updated))
+        };
+        (clusters, rides, compacted)
+    }
+
+    /// Number of clusters currently marked dirty (pending publish).
+    #[inline]
+    pub fn dirty_cluster_count(&self) -> usize {
+        self.index.dirty_len()
     }
 
     /// Restrict this engine to the id arithmetic progression
@@ -364,6 +435,7 @@ impl XarEngine {
         };
         Self::index_ride(&self.region, &self.config, &mut ride, &mut self.index, 0);
         self.rides.insert(id, ride);
+        self.rides_structural = true;
         self.bump_state_version();
         self.stats.creates.inc();
         // Occupancy gauge: the ride lives in its source's cluster
@@ -515,6 +587,8 @@ impl XarEngine {
     /// completed), releasing its slot in the occupancy gauge.
     pub(crate) fn retire_ride(&mut self, id: RideId) {
         if let Some(ride) = self.rides.remove(&id) {
+            self.rides_structural = true;
+            self.pending_compactions += 1;
             if let Some(c) = self.region.cluster_of_node(ride.via_points[0].node) {
                 self.metrics.cluster_rides[EngineMetrics::cluster_bucket(c.0)].add(-1);
             }

@@ -73,6 +73,12 @@ struct ClusterList {
 pub struct ClusterIndex {
     lists: Vec<ClusterList>,
     entries: usize,
+    /// Clusters whose lists changed since the last [`Self::drain_dirty`]
+    /// — the working set of an incremental snapshot publish. Kept
+    /// duplicate-free by `dirty_mark`.
+    dirty: Vec<u32>,
+    /// Per-cluster membership bit for `dirty` (O(1) dedup on mark).
+    dirty_mark: Vec<bool>,
     /// When this index is one shard of a
     /// [`crate::sharded::ShardedXarEngine`]: the shared occupancy map
     /// and this shard's bit, kept in sync on every empty↔non-empty
@@ -84,7 +90,41 @@ pub struct ClusterIndex {
 impl ClusterIndex {
     /// Create an index over `cluster_count` clusters.
     pub fn new(cluster_count: usize) -> Self {
-        Self { lists: vec![ClusterList::default(); cluster_count], entries: 0, occupancy: None }
+        Self {
+            lists: vec![ClusterList::default(); cluster_count],
+            entries: 0,
+            dirty: Vec::new(),
+            dirty_mark: vec![false; cluster_count],
+            occupancy: None,
+        }
+    }
+
+    /// Record that `cluster`'s list mutated. Only actual mutations mark
+    /// — an `insert` that loses its better-detour race leaves the list,
+    /// and therefore the dirty set, untouched.
+    #[inline]
+    fn mark_dirty(&mut self, cluster: ClusterId) {
+        let c = cluster.index();
+        if !self.dirty_mark[c] {
+            self.dirty_mark[c] = true;
+            self.dirty.push(c as u32);
+        }
+    }
+
+    /// Take the set of clusters whose lists changed since the last
+    /// drain (duplicate-free, unordered) and reset the marks. Called by
+    /// snapshot publication under the shard write lock.
+    pub fn drain_dirty(&mut self) -> Vec<u32> {
+        for &c in &self.dirty {
+            self.dirty_mark[c as usize] = false;
+        }
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Number of clusters currently marked dirty.
+    #[inline]
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Publish this index's per-cluster emptiness into `occupancy` as
@@ -146,6 +186,7 @@ impl ClusterIndex {
                 occ.set(cluster.index(), *shard);
             }
         }
+        self.mark_dirty(cluster);
     }
 
     /// Remove `ride` from `cluster`'s list. Returns the removed entry.
@@ -160,6 +201,7 @@ impl ClusterIndex {
                 occ.clear(cluster.index(), *shard);
             }
         }
+        self.mark_dirty(cluster);
         removed
     }
 
@@ -289,6 +331,26 @@ mod tests {
         idx.insert(ClusterId(0), entry(2, 0.0, 0.0));
         let got: Vec<u64> = idx.range_eta(ClusterId(0), f64::NEG_INFINITY, 0.0).map(|e| e.ride.0).collect();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn dirty_set_tracks_mutations_only_and_drains_clean() {
+        let mut idx = ClusterIndex::new(4);
+        assert!(idx.drain_dirty().is_empty());
+        idx.insert(ClusterId(1), entry(1, 100.0, 500.0));
+        idx.insert(ClusterId(1), entry(2, 110.0, 0.0));
+        idx.insert(ClusterId(3), entry(1, 200.0, 0.0));
+        // A losing better-detour insert is a no-op: no dirt.
+        idx.insert(ClusterId(3), entry(1, 90.0, 300.0));
+        let mut d = idx.drain_dirty();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 3]);
+        assert_eq!(idx.dirty_len(), 0);
+        // Post-drain mutations mark afresh; duplicates collapse.
+        idx.remove(ClusterId(1), RideId(1));
+        idx.remove(ClusterId(1), RideId(2));
+        assert!(idx.remove(ClusterId(2), RideId(9)).is_none(), "miss leaves no dirt");
+        assert_eq!(idx.drain_dirty(), vec![1]);
     }
 
     #[test]

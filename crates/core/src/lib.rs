@@ -70,7 +70,7 @@ pub mod tracking;
 
 pub use booking::BookingOutcome;
 pub use concurrent::SharedXarEngine;
-pub use engine::{EngineConfig, EngineStats, EngineStatsSnapshot, XarEngine};
+pub use engine::{EngineConfig, EngineStats, EngineStatsSnapshot, RideDirt, XarEngine};
 pub use error::{Reason, XarError};
 pub use index::ClusterIndex;
 pub use metrics::EngineMetrics;

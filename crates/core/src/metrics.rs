@@ -22,6 +22,9 @@
 //! | `engine.snapshot_publishes` | counter | shard snapshots published |
 //! | `engine.snapshot_retired_freed` | counter | retired snapshots reclaimed (epoch passed) |
 //! | `engine.snapshot_backlog` | gauge | retired snapshots still pinned by readers |
+//! | `snapshot.partial_publishes` | counter | publishes that patched only dirty cluster segments (vs full rebuilds) |
+//! | `snapshot.dirty_clusters` | histogram | dirty clusters drained per publish (full or partial) |
+//! | `snapshot.compacted_rides` | counter | retired rides compacted out of snapshots at publish |
 //! | `engine.searches` / `creates` / `bookings` / `tracks` | counter | operation counts ([`crate::engine::EngineStats`]) |
 //! | `engine.shortest_paths` | counter | shortest-path computations (create/book — never search) |
 //!
@@ -100,6 +103,17 @@ pub struct EngineMetrics {
     /// older epoch. Persistently non-zero means a reader is stuck
     /// pinned.
     pub snapshot_backlog: Arc<Gauge>,
+    /// Publishes that patched the previous snapshot (rebuilt only dirty
+    /// cluster segments, structurally sharing the rest) instead of a
+    /// full rebuild. `snapshot_publishes − snapshot_partial_publishes`
+    /// is the full-rebuild count.
+    pub snapshot_partial_publishes: Arc<Counter>,
+    /// Dirty clusters drained per publish — the quantity incremental
+    /// publish cost is proportional to.
+    pub snapshot_dirty_clusters: Arc<Histogram>,
+    /// Retired (completed/expired) rides compacted out of the published
+    /// ride table — the memory-bound half of ROADMAP item 5.
+    pub snapshot_compacted_rides: Arc<Counter>,
     /// Latency exemplars for `engine.search_ns{tier=…}` — the trace ids
     /// behind the slowest recent searches per tier, index-aligned with
     /// [`SEARCH_TIERS`]. Process-global (exemplars link to the
@@ -136,6 +150,9 @@ impl EngineMetrics {
         let snapshot_publishes = registry.counter("engine.snapshot_publishes");
         let snapshot_retired_freed = registry.counter("engine.snapshot_retired_freed");
         let snapshot_backlog = registry.gauge("engine.snapshot_backlog");
+        let snapshot_partial_publishes = registry.counter("snapshot.partial_publishes");
+        let snapshot_dirty_clusters = registry.histogram("snapshot.dirty_clusters");
+        let snapshot_compacted_rides = registry.counter("snapshot.compacted_rides");
         let search_exemplar_tier =
             SEARCH_TIERS.map(|t| exemplar_handle("engine.search_ns", &[("tier", t)]));
         let book_exemplar = exemplar_handle("engine.book_ns", &[]);
@@ -155,6 +172,9 @@ impl EngineMetrics {
             snapshot_publishes,
             snapshot_retired_freed,
             snapshot_backlog,
+            snapshot_partial_publishes,
+            snapshot_dirty_clusters,
+            snapshot_compacted_rides,
             search_exemplar_tier,
             book_exemplar,
         }

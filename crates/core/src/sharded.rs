@@ -45,7 +45,7 @@
 //! locks, `lock.read_hold_ns` records only maintenance reads (the
 //! `track_all` emptiness probes, audits, memory accounting).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
@@ -124,6 +124,10 @@ struct Shard {
     /// paths that did not change searchable state (failed creates,
     /// no-progress tracks) skip the rebuild.
     published_version: AtomicU64,
+    /// Nanoseconds since `Inner::anchor` of the last actual publish —
+    /// the coalescing window ([`ShardedXarEngine::set_publish_coalesce_us`])
+    /// is measured against this.
+    last_publish_ns: AtomicU64,
     read_hold_ns: Arc<Histogram>,
     write_hold_ns: Arc<Histogram>,
 }
@@ -158,6 +162,17 @@ struct Inner {
     metrics: EngineMetrics,
     read_hold_ns: Arc<Histogram>,
     write_hold_ns: Arc<Histogram>,
+    /// Force every publish down the full-rebuild path (bench baseline /
+    /// equivalence testing); incremental patching is the default.
+    full_publish: AtomicBool,
+    /// Coalescing window for first-match mode, nanoseconds: a
+    /// non-forced publish within this window of the shard's previous
+    /// publish is deferred (the dirt accumulates until the next forced
+    /// publish, window expiry, or [`ShardedXarEngine::publish_pending`]).
+    /// 0 (the default) publishes on every write — read-your-writes.
+    publish_coalesce_ns: AtomicU64,
+    /// Time origin for `Shard::last_publish_ns`.
+    anchor: Instant,
 }
 
 /// A clonable, thread-safe, cluster-sharded XAR engine (module docs
@@ -266,17 +281,21 @@ impl ShardedXarEngine {
         Self::with_metrics(region, config, metrics, n)
     }
 
-    fn make_shard(engine: XarEngine, i: usize, registry: &Arc<Registry>) -> Shard {
+    fn make_shard(mut engine: XarEngine, i: usize, registry: &Arc<Registry>) -> Shard {
         let label = format!("s{i}");
         // Seed the snapshot from the engine as handed over — the
         // single-shard facade wraps already-populated engines, whose
         // rides must be searchable before the first write republishes.
+        // The seed is a full build, so any dirt the engine accumulated
+        // before hand-over is already reflected: drain it.
         let snapshot = SnapshotCell::new(ShardSnapshot::build(&engine));
+        let _ = engine.drain_publish_dirt();
         let published_version = AtomicU64::new(engine.state_version());
         Shard {
             lock: RwLock::new(engine),
             snapshot,
             published_version,
+            last_publish_ns: AtomicU64::new(0),
             read_hold_ns: registry.histogram_with("lock.read_hold_ns", &[("shard", &label)]),
             write_hold_ns: registry.histogram_with("lock.write_hold_ns", &[("shard", &label)]),
         }
@@ -301,7 +320,47 @@ impl ShardedXarEngine {
                 metrics,
                 read_hold_ns,
                 write_hold_ns,
+                full_publish: AtomicBool::new(false),
+                publish_coalesce_ns: AtomicU64::new(0),
+                anchor: Instant::now(),
             }),
+        }
+    }
+
+    /// Force every snapshot publish down the full-rebuild path instead
+    /// of patching dirty cluster segments. Bench baselines and the
+    /// incremental ≡ full equivalence tests flip this; production keeps
+    /// the default (`false`).
+    pub fn set_full_publish(&self, full: bool) {
+        self.inner.full_publish.store(full, Ordering::Relaxed);
+    }
+
+    /// Set the publish-coalescing window for first-match mode,
+    /// microseconds. While a shard published less than this long ago,
+    /// non-forced write paths (create/book) defer their republish and
+    /// let the dirt accumulate; retirement sweeps, batch commits and
+    /// [`ShardedXarEngine::publish_pending`] always publish. 0 (the
+    /// default) restores publish-on-every-write (read-your-writes).
+    pub fn set_publish_coalesce_us(&self, us: u64) {
+        self.inner.publish_coalesce_ns.store(us.saturating_mul(1_000), Ordering::Relaxed);
+    }
+
+    /// Publish every shard whose engine state ran ahead of its
+    /// published snapshot (dirt deferred by the coalescing window).
+    /// Cheap when nothing is pending: a lock-free version probe per
+    /// shard, write locks only where a publish is actually due.
+    pub fn publish_pending(&self) {
+        for i in 0..self.inner.shards.len() {
+            let shard = &self.inner.shards[i];
+            let published = shard.published_version.load(Ordering::Acquire);
+            let stale = {
+                let (guard, _hold) = self.read_shard(i);
+                guard.state_version() != published
+            };
+            if stale {
+                let (mut guard, _hold) = self.write_shard(i);
+                self.publish_shard(i, &mut guard, true);
+            }
         }
     }
 
@@ -496,24 +555,84 @@ impl ShardedXarEngine {
         Ok(())
     }
 
-    /// Rebuild and publish shard `i`'s search snapshot if its engine's
-    /// searchable state changed. Called by every write path while it
-    /// still holds the shard write lock, so publishes serialize per
-    /// shard and each snapshot is a consistent point-in-time view.
-    fn publish_shard(&self, i: usize, engine: &XarEngine) {
+    /// Publish shard `i`'s search snapshot if its engine's searchable
+    /// state changed: drain the engine's dirty clusters and patch the
+    /// previous snapshot ([`ShardSnapshot::build_incremental`] —
+    /// unchanged cluster segments are `Arc`-shared, so the cost is
+    /// proportional to the dirt, not the shard). Falls back to a full
+    /// rebuild when at least half the clusters are dirty (the patch
+    /// would copy most of the pointer array anyway and the full build
+    /// resets `entries` drift exactly) or when
+    /// [`ShardedXarEngine::set_full_publish`] is on.
+    ///
+    /// Called by every write path while it still holds the shard write
+    /// lock, so publishes serialize per shard and each snapshot is a
+    /// consistent point-in-time view. `force` bypasses the coalescing
+    /// window — retirement sweeps and batch commits must land even
+    /// mid-window.
+    fn publish_shard(&self, i: usize, engine: &mut XarEngine, force: bool) {
         let shard = &self.inner.shards[i];
         let version = engine.state_version();
-        if shard.published_version.load(Ordering::Relaxed) == version {
+        // Ordering: all publishes of this shard happen under its write
+        // lock (every caller holds it), so the load below can never
+        // race a concurrent store to the same shard — the lock's
+        // acquire/release already orders them. The explicit
+        // Acquire/Release pairing makes the no-op-skip argument local
+        // as well: a publisher that loads `published_version == version`
+        // observes everything the publisher that stored that version
+        // did before its store — including its snapshot swap and its
+        // dirt drain — so an equal version always means "this exact
+        // state is already published and the dirty set is empty", never
+        // "a pending rebuild is still in flight". (With `Relaxed` the
+        // conclusion would still hold via the lock, but would silently
+        // break if a lock-free caller were ever added; regression test:
+        // `noop_skip_never_hides_a_pending_rebuild`.)
+        if shard.published_version.load(Ordering::Acquire) == version {
             return;
+        }
+        if !force {
+            let window = self.inner.publish_coalesce_ns.load(Ordering::Relaxed);
+            if window > 0 {
+                let now = self.inner.anchor.elapsed().as_nanos() as u64;
+                let last = shard.last_publish_ns.load(Ordering::Relaxed);
+                if now.saturating_sub(last) < window {
+                    // Defer: the dirt stays in the engine and the next
+                    // forced or post-window publish drains it all.
+                    return;
+                }
+            }
         }
         let t0 = Instant::now();
         let mut tspan = xar_obs::trace::span("snapshot.publish");
         tspan.attr("shard", i);
-        let outcome = shard.snapshot.publish(ShardSnapshot::build(engine));
-        shard.published_version.store(version, Ordering::Relaxed);
         let m = &self.inner.metrics;
+        let (dirty, ride_dirt, compacted) = engine.drain_publish_dirt();
+        let next = {
+            // Pin only while reading the previous snapshot for the
+            // patch; the guard must drop before `publish` below or our
+            // own pin would keep the snapshot we retire from being
+            // freed (inflating the backlog gauge for no reason).
+            let guard = snapshot::pin();
+            let prev = shard.snapshot.load(&guard);
+            if self.inner.full_publish.load(Ordering::Relaxed)
+                || prev.cluster_count() != engine.index().cluster_count()
+                || dirty.len() * 2 >= prev.cluster_count().max(1)
+            {
+                ShardSnapshot::build(engine)
+            } else {
+                m.snapshot_partial_publishes.inc();
+                ShardSnapshot::build_incremental(engine, prev, &dirty, &ride_dirt)
+            }
+        };
+        let outcome = shard.snapshot.publish(next);
+        shard.published_version.store(version, Ordering::Release);
+        shard
+            .last_publish_ns
+            .store(self.inner.anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
         m.snapshot_publish_ns.record(t0.elapsed().as_nanos() as u64);
         m.snapshot_publishes.inc();
+        m.snapshot_dirty_clusters.record(dirty.len() as u64);
+        m.snapshot_compacted_rides.add(compacted);
         m.snapshot_retired_freed.add(outcome.freed as u64);
         // Each publish retires exactly one snapshot and frees `freed`;
         // the gauge tracks the global not-yet-freed backlog.
@@ -531,7 +650,7 @@ impl ShardedXarEngine {
             .map_or(0, |c| self.shard_of_cluster(c));
         let (mut guard, _hold) = self.write_shard(shard);
         let res = guard.create_ride(offer);
-        self.publish_shard(shard, &guard);
+        self.publish_shard(shard, &mut guard, false);
         res
     }
 
@@ -542,7 +661,7 @@ impl ShardedXarEngine {
         let shard = self.shard_of_ride(m.ride);
         let (mut guard, _hold) = self.write_shard(shard);
         let res = guard.book(m);
-        self.publish_shard(shard, &guard);
+        self.publish_shard(shard, &mut guard, false);
         res
     }
 
@@ -558,8 +677,37 @@ impl ShardedXarEngine {
         let shard = self.shard_of_ride(m.ride);
         let (mut guard, _hold) = self.write_shard(shard);
         let res = guard.book_checked(m);
-        self.publish_shard(shard, &guard);
+        self.publish_shard(shard, &mut guard, false);
         res
+    }
+
+    /// **Book** a whole batch window's matches with one write lock and
+    /// one snapshot publish per *touched shard* instead of one of each
+    /// per booking — the coalescing that makes `--dispatch batch:<ms>`
+    /// write cost proportional to the dirt, not to the booking count.
+    /// Matches are grouped by owning shard; within a shard they commit
+    /// in stream order, each individually re-validated
+    /// ([`XarEngine::validate_match`]) against the live state, so one
+    /// stale match never poisons the rest. Results come back
+    /// index-aligned with `ms`.
+    pub fn book_checked_batch(&self, ms: &[&RideMatch]) -> Vec<Result<BookingOutcome, XarError>> {
+        let n = self.inner.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (pos, m) in ms.iter().enumerate() {
+            by_shard[self.shard_of_ride(m.ride)].push(pos);
+        }
+        let mut out: Vec<Option<Result<BookingOutcome, XarError>>> = (0..ms.len()).map(|_| None).collect();
+        for (shard, positions) in by_shard.into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let (mut guard, _hold) = self.write_shard(shard);
+            for pos in positions {
+                out[pos] = Some(guard.book_checked(ms[pos]));
+            }
+            self.publish_shard(shard, &mut guard, true);
+        }
+        out.into_iter().map(|r| r.expect("every match was routed to a shard")).collect()
     }
 
     /// **Track** one ride: one write lock on its owning shard, plus a
@@ -569,7 +717,7 @@ impl ShardedXarEngine {
         let shard = self.shard_of_ride(id);
         let (mut guard, _hold) = self.write_shard(shard);
         let res = guard.track_ride(id, now_s);
-        self.publish_shard(shard, &guard);
+        self.publish_shard(shard, &mut guard, true);
         res
     }
 
@@ -589,9 +737,28 @@ impl ShardedXarEngine {
             }
             let (mut guard, _hold) = self.write_shard(i);
             retired += guard.track_all(now_s);
-            self.publish_shard(i, &guard);
+            // Forced: retirements must leave the searchable snapshot
+            // even mid-coalescing-window (an expired ride served from a
+            // stale snapshot would fail its commit-time re-validation,
+            // but the paper's freshness story is that tracking evicts).
+            self.publish_shard(i, &mut guard, true);
         }
         retired
+    }
+
+    /// Whether every shard's published snapshot is content-identical to
+    /// a fresh full rebuild of its engine state (and its published
+    /// version has caught up) — the incremental ≡ full invariant,
+    /// exposed for tests and audits. Takes each shard's read lock
+    /// briefly.
+    pub fn snapshots_consistent(&self) -> bool {
+        let guard = snapshot::pin();
+        (0..self.inner.shards.len()).all(|i| {
+            let shard = &self.inner.shards[i];
+            let (eng, _hold) = self.read_shard(i);
+            shard.published_version.load(Ordering::Acquire) == eng.state_version()
+                && shard.snapshot.load(&guard).content_eq(&ShardSnapshot::build(&eng))
+        })
     }
 
     /// Total live rides across all shards.
@@ -942,6 +1109,147 @@ mod tests {
         eng.search_into(&req, usize::MAX, &mut out).unwrap();
         assert_eq!(out, first);
         assert_eq!(eng.search(&req, usize::MAX).unwrap(), first);
+    }
+
+    #[test]
+    fn noop_skip_never_hides_a_pending_rebuild() {
+        // The `published_version` gate (Acquire/Release — see
+        // `publish_shard`) may skip a publish only when the published
+        // snapshot already reflects the engine state exactly. Interleave
+        // real mutations with no-op sweeps and verify after every step
+        // that the published snapshot is content-identical to a full
+        // rebuild — a skipped-but-pending rebuild would diverge here.
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        for i in 0..25 {
+            let _ = eng.create_ride(&offer(&graph, i));
+            eng.track_all(0.0); // no-op: must skip, but skip must be sound
+            assert!(eng.snapshots_consistent(), "after create {i} + no-op sweep");
+        }
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        for m in eng.search(&req, 5).unwrap() {
+            let _ = eng.book_checked(&m);
+            eng.track_all(0.0);
+            assert!(eng.snapshots_consistent(), "after booking + no-op sweep");
+        }
+        eng.track_all(f64::INFINITY);
+        assert!(eng.snapshots_consistent(), "after retiring everything");
+    }
+
+    #[test]
+    fn incremental_publishes_are_partial_and_equivalent() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        // Small detour budgets keep the reachable sets — and so the
+        // dirty fraction — small; the 30-cluster test city would
+        // otherwise trip the ≥half-dirty full-rebuild heuristic on
+        // every create.
+        let tight = |i: u32| RideOffer { detour_limit_m: 250.0, ..offer(&graph, i) };
+        for i in 0..30 {
+            let _ = eng.create_ride(&tight(i));
+        }
+        let m = eng.metrics();
+        assert!(
+            m.snapshot_partial_publishes.get() > 0,
+            "steady-state creates must take the incremental path"
+        );
+        assert!(m.snapshot_dirty_clusters.count() >= m.snapshot_publishes.get());
+        assert!(eng.snapshots_consistent());
+        // Full-publish mode still converges to the same content.
+        eng.set_full_publish(true);
+        let partial_before = m.snapshot_partial_publishes.get();
+        let _ = eng.create_ride(&tight(31));
+        assert_eq!(m.snapshot_partial_publishes.get(), partial_before);
+        assert!(eng.snapshots_consistent());
+    }
+
+    #[test]
+    fn publish_coalescing_defers_then_catches_up() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 2);
+        eng.set_publish_coalesce_us(3_600_000_000); // one hour: everything defers
+        let m = eng.metrics();
+        let publishes_before = m.snapshot_publishes.get();
+        let mut created = 0;
+        for i in 0..20 {
+            created += eng.create_ride(&offer(&graph, i)).is_ok() as usize;
+        }
+        assert!(created > 5);
+        assert_eq!(
+            m.snapshot_publishes.get(),
+            publishes_before,
+            "inside the window every create must defer its publish"
+        );
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        let stale = eng.search(&req, usize::MAX).unwrap_or_default();
+        assert!(stale.is_empty(), "deferred publishes must leave the old (empty) view");
+        // The catch-up drains all accumulated dirt in one publish per shard.
+        eng.publish_pending();
+        assert!(m.snapshot_publishes.get() > publishes_before);
+        assert!(eng.snapshots_consistent());
+        assert!(!eng.search(&req, usize::MAX).unwrap().is_empty());
+        // Back to 0: read-your-writes returns.
+        eng.set_publish_coalesce_us(0);
+        let _ = eng.create_ride(&offer(&graph, 50));
+        assert!(eng.snapshots_consistent());
+    }
+
+    #[test]
+    fn batch_booking_publishes_once_per_touched_shard() {
+        let region = region(31);
+        let graph = Arc::clone(region.graph());
+        let n = graph.node_count() as u32;
+        let eng = ShardedXarEngine::new(region, EngineConfig::default(), 4);
+        for i in 0..30 {
+            let _ = eng.create_ride(&offer(&graph, i));
+        }
+        let req = RideRequest {
+            source: graph.point(NodeId(n / 2)),
+            destination: graph.point(NodeId(n - 1)),
+            window_start_s: 7.5 * 3600.0,
+            window_end_s: 9.5 * 3600.0,
+            walk_limit_m: 800.0,
+        };
+        let matches = eng.search(&req, 6).unwrap();
+        assert!(matches.len() >= 2, "need a real batch");
+        let refs: Vec<&RideMatch> = matches.iter().collect();
+        let mut shards: Vec<usize> = refs.iter().map(|m| eng.shard_of_ride(m.ride)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let m = eng.metrics();
+        let publishes_before = m.snapshot_publishes.get();
+        let results = eng.book_checked_batch(&refs);
+        assert_eq!(results.len(), refs.len(), "results index-aligned with input");
+        assert!(results[0].is_ok(), "first (freshest) match must book");
+        let published = m.snapshot_publishes.get() - publishes_before;
+        assert!(
+            published <= shards.len() as u64,
+            "batch of {} published {published} times for {} touched shards",
+            refs.len(),
+            shards.len()
+        );
+        assert!(eng.snapshots_consistent());
+        // Outcomes match what sequential book_checked would decide for
+        // the same stream: each Ok really decremented a seat.
+        let booked: u64 = results.iter().filter(|r| r.is_ok()).count() as u64;
+        assert_eq!(eng.stats().snapshot().bookings, booked);
     }
 
     #[test]

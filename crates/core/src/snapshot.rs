@@ -49,21 +49,27 @@
 //! only possible once no reference derived from it exists — enforced at
 //! compile time, no epoch argument needed.
 //!
-//! Snapshots use a struct-of-arrays (CSR) layout — per-cluster entry
-//! ranges over parallel `eta`/`ride`/`detour` columns — so the ETA
-//! range query of search Step 1 is two `partition_point` calls on a
-//! contiguous `f64` column instead of a `BTreeMap` walk, and the whole
-//! search runs without allocating (candidate buffers live in a
-//! thread-local [`SearchScratch`]).
+//! Snapshots use a struct-of-arrays layout segmented per cluster: each
+//! cluster's entries live in one immutable [`ClusterSeg`] holding
+//! parallel `eta`/`ride`/`detour` columns, so the ETA range query of
+//! search Step 1 is two `partition_point` calls on a contiguous `f64`
+//! column instead of a `BTreeMap` walk, and the whole search runs
+//! without allocating (candidate buffers live in a thread-local
+//! [`SearchScratch`]). Segments are `Arc`-shared between successive
+//! snapshots: [`ShardSnapshot::build_incremental`] rebuilds only the
+//! segments of clusters whose entries changed since the previous
+//! publish and clones the rest by pointer, which makes the write-path
+//! publish cost proportional to the *touched* clusters, not the shard
+//! size (DESIGN.md §5f).
 
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use xar_discretize::{ClusterId, WalkEntry};
 
-use crate::engine::XarEngine;
+use crate::engine::{RideDirt, XarEngine};
 use crate::request::RideRequest;
 use crate::ride::RideId;
 use crate::search::RideMatch;
@@ -446,131 +452,333 @@ pub fn with_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
     SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
-/// An immutable, point-in-time copy of everything search reads from one
-/// shard: the per-cluster potential-rides lists in a struct-of-arrays
-/// CSR layout, plus the per-ride feasibility columns (free seats,
-/// remaining detour budget).
+/// One cluster's entry columns (SoA): the ETA column is scanned by
+/// every range query, so it stays dense and contiguous; the rest are
+/// only touched for rows inside the range.
 ///
-/// Entries within a cluster are sorted by `(eta, ride)` — the same
-/// order the live `BTreeMap` index iterates in — so snapshot search
-/// visits candidates in exactly the serial engine's order and returns
-/// bit-identical matches.
-pub struct ShardSnapshot {
-    /// CSR row offsets: cluster `c`'s entries occupy columns
-    /// `offsets[c] .. offsets[c + 1]`.
-    offsets: Vec<u32>,
-    // Parallel entry columns (SoA): the ETA column is scanned by every
-    // range query, so it stays dense and contiguous; the rest are only
-    // touched for rows inside the range.
+/// Entries are sorted by `(eta, ride)` — the same order the live
+/// `BTreeMap` index iterates in — so snapshot search visits candidates
+/// in exactly the serial engine's order and returns bit-identical
+/// matches. A segment is immutable once built; successive snapshots
+/// share unchanged segments via `Arc`.
+struct ClusterSeg {
     eta_s: Vec<f64>,
     ride: Vec<RideId>,
     detour_m: Vec<f64>,
     seg: Vec<u32>,
     pass_route_idx: Vec<u32>,
-    /// Ride feasibility table, sorted by ride id for binary search.
-    ride_ids: Vec<RideId>,
+}
+
+impl ClusterSeg {
+    /// Rows whose ETA lies in `[from_s, to_s]` (inclusive both ends,
+    /// like the live index's `range_eta`).
+    #[inline]
+    fn eta_range(&self, from_s: f64, to_s: f64) -> std::ops::Range<usize> {
+        let a = self.eta_s.partition_point(|&t| t < from_s);
+        let b = self.eta_s.partition_point(|&t| t <= to_s);
+        a..b
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.eta_s.capacity() * std::mem::size_of::<f64>()
+            + self.ride.capacity() * std::mem::size_of::<RideId>()
+            + self.detour_m.capacity() * std::mem::size_of::<f64>()
+            + self.seg.capacity() * std::mem::size_of::<u32>()
+            + self.pass_route_idx.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The per-ride feasibility columns, sorted by ride id for binary
+/// search. `Arc`-shared with the previous snapshot when a publish
+/// changed no ride's seats / budget / liveness (tracking-only
+/// publishes).
+struct RideTable {
+    ids: Vec<RideId>,
     seats: Vec<u8>,
     budget_m: Vec<f64>,
 }
+
+impl RideTable {
+    fn build(engine: &XarEngine) -> Self {
+        let mut rides: Vec<_> =
+            engine.rides().map(|r| (r.id, r.seats_available, r.detour_remaining_m())).collect();
+        rides.sort_unstable_by_key(|&(id, _, _)| id);
+        let mut t = Self {
+            ids: Vec::with_capacity(rides.len()),
+            seats: Vec::with_capacity(rides.len()),
+            budget_m: Vec::with_capacity(rides.len()),
+        };
+        for (id, seats, budget) in rides {
+            t.ids.push(id);
+            t.seats.push(seats);
+            t.budget_m.push(budget);
+        }
+        t
+    }
+
+    /// Copy `prev` and overwrite the seats / budget rows of `updated`
+    /// rides with the engine's current values. Valid only when the ride
+    /// *set* is unchanged since `prev` was built — [`RideDirt`] tracking
+    /// guarantees any create / retire escalates to `Structural` before
+    /// this path is taken, so every updated id resolves in both the
+    /// previous table and the live engine. Three column memcpys plus a
+    /// binary search per updated ride: allocation count and lookup work
+    /// are independent of the shard's ride count.
+    fn patch(prev: &RideTable, engine: &XarEngine, updated: &[RideId]) -> Self {
+        let mut t = Self {
+            ids: prev.ids.clone(),
+            seats: prev.seats.clone(),
+            budget_m: prev.budget_m.clone(),
+        };
+        for &id in updated {
+            let i = t
+                .ids
+                .binary_search(&id)
+                .expect("updated ride missing from previous snapshot despite non-structural dirt");
+            let r = engine
+                .ride(id)
+                .expect("updated ride missing from engine despite non-structural dirt");
+            t.seats[i] = r.seats_available;
+            t.budget_m[i] = r.detour_remaining_m();
+        }
+        t
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<RideId>()
+            + self.seats.capacity()
+            + self.budget_m.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// An immutable, point-in-time copy of everything search reads from one
+/// shard: the per-cluster potential-rides lists as `Arc`-shared
+/// [`ClusterSeg`] columns, plus the per-ride feasibility table (free
+/// seats, remaining detour budget).
+///
+/// Built either from scratch ([`ShardSnapshot::build`]) or by patching
+/// the previous snapshot ([`ShardSnapshot::build_incremental`]), which
+/// rebuilds only the segments of dirty clusters and structurally
+/// shares everything else. The two constructions are content-equal by
+/// construction — a property the `incremental_publish` test pins.
+pub struct ShardSnapshot {
+    /// Per-cluster entry segments, stored in fixed-size `Arc`'d
+    /// **blocks** of [`SEG_BLOCK`] slots: cloning the snapshot costs
+    /// one `Arc` bump per *block* (⌈clusters / 64⌉), not one per
+    /// cluster, and an incremental publish copies only the blocks a
+    /// dirty cluster lands in. `None` means the cluster currently
+    /// holds no entries (most clusters, most of the time — an empty
+    /// segment costs neither an allocation nor an `Arc` bump).
+    clusters: Vec<Arc<SegBlock>>,
+    /// Clusters covered (the last block may be partially filled).
+    cluster_count: usize,
+    /// Ride feasibility table, sorted by ride id for binary search.
+    rides: Arc<RideTable>,
+    /// Total `⟨ride, eta⟩` entries across all segments.
+    entries: usize,
+}
+
+/// Block size of the segment directory: large enough that the
+/// per-block `Arc` overhead vanishes, small enough that copying the
+/// block a dirty cluster lands in stays far below copying the whole
+/// directory. Publishing with k dirty clusters touches at most k
+/// blocks (fewer when the dirty set is spatially coherent, which
+/// detour-bounded bookings are).
+const SEG_BLOCK: usize = 64;
+
+/// One directory block: up to [`SEG_BLOCK`] per-cluster segment slots.
+type SegBlock = Vec<Option<Arc<ClusterSeg>>>;
 
 impl ShardSnapshot {
     /// A snapshot with `cluster_count` clusters and no rides (the state
     /// of a freshly created shard).
     pub fn empty(cluster_count: usize) -> Self {
         Self {
-            offsets: vec![0; cluster_count + 1],
-            eta_s: Vec::new(),
-            ride: Vec::new(),
-            detour_m: Vec::new(),
-            seg: Vec::new(),
-            pass_route_idx: Vec::new(),
-            ride_ids: Vec::new(),
-            seats: Vec::new(),
-            budget_m: Vec::new(),
+            clusters: (0..cluster_count.div_ceil(SEG_BLOCK))
+                .map(|b| Arc::new(vec![None; SEG_BLOCK.min(cluster_count - b * SEG_BLOCK)]))
+                .collect(),
+            cluster_count,
+            rides: Arc::new(RideTable { ids: Vec::new(), seats: Vec::new(), budget_m: Vec::new() }),
+            entries: 0,
         }
     }
 
-    /// Freeze `engine`'s searchable state. Called by shard writers
-    /// while holding the shard write lock, so the copy is consistent.
+    /// The segment of cluster `c`, if it holds any entries.
+    #[inline]
+    fn seg(&self, c: usize) -> Option<&ClusterSeg> {
+        self.clusters[c / SEG_BLOCK][c % SEG_BLOCK].as_deref()
+    }
+
+    /// Build one cluster's segment from the live index; `None` when the
+    /// cluster holds no entries.
+    fn build_segment(
+        index: &crate::index::ClusterIndex,
+        c: ClusterId,
+    ) -> Option<Arc<ClusterSeg>> {
+        let n = index.cluster_len(c);
+        if n == 0 {
+            return None;
+        }
+        let mut seg = ClusterSeg {
+            eta_s: Vec::with_capacity(n),
+            ride: Vec::with_capacity(n),
+            detour_m: Vec::with_capacity(n),
+            seg: Vec::with_capacity(n),
+            pass_route_idx: Vec::with_capacity(n),
+        };
+        for e in index.entries_of(c) {
+            seg.eta_s.push(e.eta_s);
+            seg.ride.push(e.ride);
+            seg.detour_m.push(e.detour_m);
+            seg.seg.push(e.seg as u32);
+            seg.pass_route_idx.push(e.pass_route_idx as u32);
+        }
+        Some(Arc::new(seg))
+    }
+
+    /// Freeze `engine`'s searchable state from scratch. Called by shard
+    /// writers while holding the shard write lock, so the copy is
+    /// consistent.
     pub fn build(engine: &XarEngine) -> Self {
         let index = engine.index();
         let clusters = index.cluster_count();
-        let entries = index.len();
         let mut snap = Self {
-            offsets: Vec::with_capacity(clusters + 1),
-            eta_s: Vec::with_capacity(entries),
-            ride: Vec::with_capacity(entries),
-            detour_m: Vec::with_capacity(entries),
-            seg: Vec::with_capacity(entries),
-            pass_route_idx: Vec::with_capacity(entries),
-            ride_ids: Vec::with_capacity(engine.ride_count()),
-            seats: Vec::with_capacity(engine.ride_count()),
-            budget_m: Vec::with_capacity(engine.ride_count()),
+            clusters: Vec::with_capacity(clusters.div_ceil(SEG_BLOCK)),
+            cluster_count: clusters,
+            rides: Arc::new(RideTable::build(engine)),
+            entries: 0,
         };
-        snap.offsets.push(0);
+        let mut block: SegBlock = Vec::with_capacity(SEG_BLOCK);
         for c in 0..clusters as u32 {
-            for e in index.entries_of(ClusterId(c)) {
-                snap.eta_s.push(e.eta_s);
-                snap.ride.push(e.ride);
-                snap.detour_m.push(e.detour_m);
-                snap.seg.push(e.seg as u32);
-                snap.pass_route_idx.push(e.pass_route_idx as u32);
+            let seg = Self::build_segment(index, ClusterId(c));
+            snap.entries += seg.as_ref().map_or(0, |s| s.eta_s.len());
+            block.push(seg);
+            if block.len() == SEG_BLOCK {
+                snap.clusters
+                    .push(Arc::new(std::mem::replace(&mut block, Vec::with_capacity(SEG_BLOCK))));
             }
-            snap.offsets.push(snap.eta_s.len() as u32);
         }
-        let mut rides: Vec<_> = engine.rides().map(|r| (r.id, r.seats_available, r.detour_remaining_m())).collect();
-        rides.sort_unstable_by_key(|&(id, _, _)| id);
-        for (id, seats, budget) in rides {
-            snap.ride_ids.push(id);
-            snap.seats.push(seats);
-            snap.budget_m.push(budget);
+        if !block.is_empty() {
+            snap.clusters.push(Arc::new(block));
         }
         snap
+    }
+
+    /// Patch `prev` into `engine`'s current state: rebuild only the
+    /// segments of `dirty` clusters, clone every clean segment by
+    /// pointer, and produce the ride table the cheapest valid way
+    /// `ride_dirt` allows — `Arc`-share it (tracking-only publish),
+    /// patch the updated rows in place (bookings), or rebuild it from
+    /// scratch (create / retire changed the ride set). The caller must
+    /// hold the shard write lock and pass the exact dirt accumulated
+    /// since `prev` was built; allocation count is then O(|dirty|),
+    /// not O(clusters), and independent of the shard's ride count.
+    pub fn build_incremental(
+        engine: &XarEngine,
+        prev: &ShardSnapshot,
+        dirty: &[u32],
+        ride_dirt: &RideDirt,
+    ) -> Self {
+        let index = engine.index();
+        debug_assert_eq!(prev.cluster_count, index.cluster_count());
+        let mut snap = Self {
+            // One Arc bump per *block*, not per cluster.
+            clusters: prev.clusters.clone(),
+            cluster_count: prev.cluster_count,
+            rides: match ride_dirt {
+                RideDirt::Clean => Arc::clone(&prev.rides),
+                RideDirt::Updated(ids) => Arc::new(RideTable::patch(&prev.rides, engine, ids)),
+                RideDirt::Structural => Arc::new(RideTable::build(engine)),
+            },
+            entries: prev.entries,
+        };
+        for &c in dirty {
+            let (b, i) = (c as usize / SEG_BLOCK, c as usize % SEG_BLOCK);
+            // The first dirty cluster in a still-shared block copies
+            // that block's slots; later dirty clusters in the same
+            // block mutate the copy in place.
+            let block = Arc::make_mut(&mut snap.clusters[b]);
+            let old = block[i].take();
+            snap.entries -= old.map_or(0, |s| s.eta_s.len());
+            let seg = Self::build_segment(index, ClusterId(c));
+            snap.entries += seg.as_ref().map_or(0, |s| s.eta_s.len());
+            block[i] = seg;
+        }
+        snap
+    }
+
+    /// Whether `self` and `other` carry identical logical content —
+    /// every cluster's entry columns and the full ride table. The
+    /// oracle behind the `incremental publish ≡ full rebuild` property
+    /// test (`f64` columns compare bitwise; none hold NaN).
+    pub fn content_eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+            && self.cluster_count == other.cluster_count
+            && self.rides.ids == other.rides.ids
+            && self.rides.seats == other.rides.seats
+            && self.rides.budget_m == other.rides.budget_m
+            && (0..self.cluster_count).all(|c| match (self.seg(c), other.seg(c)) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a.eta_s == b.eta_s
+                        && a.ride == b.ride
+                        && a.detour_m == b.detour_m
+                        && a.seg == b.seg
+                        && a.pass_route_idx == b.pass_route_idx
+                }
+                _ => false,
+            })
     }
 
     /// Number of `⟨ride, eta⟩` index entries in the snapshot.
     #[inline]
     pub fn entry_count(&self) -> usize {
-        self.eta_s.len()
+        self.entries
+    }
+
+    /// Number of clusters the snapshot covers.
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
     }
 
     /// Number of rides in the feasibility table.
     #[inline]
     pub fn ride_count(&self) -> usize {
-        self.ride_ids.len()
-    }
-
-    /// Columns of `cluster`'s entries whose ETA lies in
-    /// `[from_s, to_s]` (inclusive, like the live index's `range_eta`).
-    #[inline]
-    fn eta_range(&self, cluster: ClusterId, from_s: f64, to_s: f64) -> std::ops::Range<usize> {
-        let lo = self.offsets[cluster.index()] as usize;
-        let hi = self.offsets[cluster.index() + 1] as usize;
-        let etas = &self.eta_s[lo..hi];
-        let a = etas.partition_point(|&t| t < from_s);
-        let b = etas.partition_point(|&t| t <= to_s);
-        lo + a..lo + b
+        self.rides.ids.len()
     }
 
     /// `(free seats, remaining detour budget)` of `ride`, if it is live
     /// in this snapshot.
     #[inline]
     fn ride_state(&self, ride: RideId) -> Option<(u8, f64)> {
-        self.ride_ids.binary_search(&ride).ok().map(|i| (self.seats[i], self.budget_m[i]))
+        self.rides
+            .ids
+            .binary_search(&ride)
+            .ok()
+            .map(|i| (self.rides.seats[i], self.rides.budget_m[i]))
     }
 
     /// Approximate heap bytes held by the snapshot (index-size
-    /// accounting).
+    /// accounting). Segments shared with other snapshots are counted in
+    /// full here — the number answers "what does this view keep alive",
+    /// not "what is uniquely owned".
     pub fn heap_bytes(&self) -> usize {
-        self.offsets.capacity() * std::mem::size_of::<u32>()
-            + self.eta_s.capacity() * std::mem::size_of::<f64>()
-            + self.ride.capacity() * std::mem::size_of::<RideId>()
-            + self.detour_m.capacity() * std::mem::size_of::<f64>()
-            + self.seg.capacity() * std::mem::size_of::<u32>()
-            + self.pass_route_idx.capacity() * std::mem::size_of::<u32>()
-            + self.ride_ids.capacity() * std::mem::size_of::<RideId>()
-            + self.seats.capacity()
-            + self.budget_m.capacity() * std::mem::size_of::<f64>()
+        self.clusters.capacity() * std::mem::size_of::<Arc<SegBlock>>()
+            + self
+                .clusters
+                .iter()
+                .map(|block| {
+                    block.capacity() * std::mem::size_of::<Option<Arc<ClusterSeg>>>()
+                        + block
+                            .iter()
+                            .flatten()
+                            .map(|s| s.heap_bytes() + std::mem::size_of::<ClusterSeg>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+            + self.rides.heap_bytes()
+            + std::mem::size_of::<RideTable>()
     }
 
     /// The candidate-generation and feasibility core of search against
@@ -600,18 +808,19 @@ impl ShardSnapshot {
         // as the serial engine's insertion-ordered Vecs do.
         let mut seq = 0u32;
         for w in src_walkable {
-            for i in self.eta_range(w.cluster, req.window_start_s, req.window_end_s) {
+            let Some(cs) = self.seg(w.cluster.index()) else { continue };
+            for i in cs.eta_range(req.window_start_s, req.window_end_s) {
                 scratch.r1.push((
-                    self.ride[i],
+                    cs.ride[i],
                     seq,
                     SnapHit {
                         cluster: w.cluster,
                         landmark: w.landmark,
                         walk_m: f64::from(w.walk_m),
-                        eta_s: self.eta_s[i],
-                        detour_m: self.detour_m[i],
-                        seg: self.seg[i],
-                        pass_route_idx: self.pass_route_idx[i],
+                        eta_s: cs.eta_s[i],
+                        detour_m: cs.detour_m[i],
+                        seg: cs.seg[i],
+                        pass_route_idx: cs.pass_route_idx[i],
                     },
                 ));
                 seq += 1;
@@ -626,8 +835,9 @@ impl ShardSnapshot {
         // present in R1 (binary search over the sorted R1).
         let mut seq = 0u32;
         for w in dst_walkable {
-            for i in self.eta_range(w.cluster, req.window_start_s, f64::INFINITY) {
-                let ride = self.ride[i];
+            let Some(cs) = self.seg(w.cluster.index()) else { continue };
+            for i in cs.eta_range(req.window_start_s, f64::INFINITY) {
+                let ride = cs.ride[i];
                 let p = scratch.r1.partition_point(|e| e.0 < ride);
                 if p == scratch.r1.len() || scratch.r1[p].0 != ride {
                     continue;
@@ -639,10 +849,10 @@ impl ShardSnapshot {
                         cluster: w.cluster,
                         landmark: w.landmark,
                         walk_m: f64::from(w.walk_m),
-                        eta_s: self.eta_s[i],
-                        detour_m: self.detour_m[i],
-                        seg: self.seg[i],
-                        pass_route_idx: self.pass_route_idx[i],
+                        eta_s: cs.eta_s[i],
+                        detour_m: cs.detour_m[i],
+                        seg: cs.seg[i],
+                        pass_route_idx: cs.pass_route_idx[i],
                     },
                 ));
                 seq += 1;
@@ -808,23 +1018,33 @@ mod tests {
     fn load_tracks_latest_publish() {
         let cell = SnapshotCell::new(ShardSnapshot::empty(1));
         let guard = pin();
-        assert_eq!(cell.load(&guard).offsets.len(), 2);
+        assert_eq!(cell.load(&guard).cluster_count(), 1);
         cell.publish(ShardSnapshot::empty(7));
-        assert_eq!(cell.load(&guard).offsets.len(), 8, "load always sees the newest snapshot");
+        assert_eq!(cell.load(&guard).cluster_count(), 7, "load always sees the newest snapshot");
     }
 
     #[test]
     fn eta_range_is_inclusive_both_ends() {
-        let mut snap = ShardSnapshot::empty(1);
-        snap.eta_s = vec![50.0, 100.0, 100.0, 150.0, 200.0];
-        snap.ride = (1..=5).map(RideId).collect();
-        snap.detour_m = vec![0.0; 5];
-        snap.seg = vec![0; 5];
-        snap.pass_route_idx = vec![0; 5];
-        snap.offsets = vec![0, 5];
-        assert_eq!(snap.eta_range(ClusterId(0), 100.0, 150.0), 1..4);
-        assert_eq!(snap.eta_range(ClusterId(0), 0.0, 49.0), 0..0);
-        assert_eq!(snap.eta_range(ClusterId(0), 201.0, 300.0), 5..5);
-        assert_eq!(snap.eta_range(ClusterId(0), f64::NEG_INFINITY, f64::INFINITY), 0..5);
+        let cs = ClusterSeg {
+            eta_s: vec![50.0, 100.0, 100.0, 150.0, 200.0],
+            ride: (1..=5).map(RideId).collect(),
+            detour_m: vec![0.0; 5],
+            seg: vec![0; 5],
+            pass_route_idx: vec![0; 5],
+        };
+        assert_eq!(cs.eta_range(100.0, 150.0), 1..4);
+        assert_eq!(cs.eta_range(0.0, 49.0), 0..0);
+        assert_eq!(cs.eta_range(201.0, 300.0), 5..5);
+        assert_eq!(cs.eta_range(f64::NEG_INFINITY, f64::INFINITY), 0..5);
+    }
+
+    #[test]
+    fn empty_snapshots_are_content_equal_and_sized() {
+        let a = ShardSnapshot::empty(3);
+        let b = ShardSnapshot::empty(3);
+        assert!(a.content_eq(&b));
+        assert!(!a.content_eq(&ShardSnapshot::empty(4)), "cluster counts must match");
+        assert_eq!(a.entry_count(), 0);
+        assert_eq!(a.ride_count(), 0);
     }
 }

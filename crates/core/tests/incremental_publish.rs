@@ -1,0 +1,275 @@
+//! Incremental snapshot publication ≡ full rebuild.
+//!
+//! The write path patches published [`xar_core::ShardSnapshot`]s:
+//! `publish_shard` rebuilds only the cluster segments the write dirtied
+//! and `Arc`-shares the rest (DESIGN.md §5f). The property that makes
+//! that an *optimization* rather than a semantic change: for any
+//! interleaved schedule of create / search / book / track operations,
+//! an engine publishing incrementally returns **identical** search
+//! results to a twin engine forced down the full-rebuild path on every
+//! publish ([`xar_core::ShardedXarEngine::set_full_publish`]). Both
+//! twins shard identically, so even ride ids agree and result lists
+//! compare verbatim.
+//!
+//! The expiry half of the story (ROADMAP item 5's memory bound) is
+//! pinned by `heap_stays_bounded_under_expiry_churn`: rides retired by
+//! tracking are compacted out of the snapshots on publish, so a long
+//! run of create → book → expire cycles holds `heap_bytes()` flat
+//! instead of accreting a day's worth of dead rides.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xar_core::{EngineConfig, RideMatch, RideOffer, RideRequest, ShardedXarEngine};
+use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig, RoadGraph};
+
+fn region() -> &'static Arc<RegionIndex> {
+    use std::sync::OnceLock;
+    static REGION: OnceLock<Arc<RegionIndex>> = OnceLock::new();
+    REGION.get_or_init(|| {
+        let graph = Arc::new(CityConfig::manhattan(25, 25, 2626).generate());
+        let pois = sample_pois(&graph, &PoiConfig { count: 600, ..Default::default() });
+        Arc::new(RegionIndex::build(
+            graph,
+            &pois,
+            RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+        ))
+    })
+}
+
+fn graph() -> &'static Arc<RoadGraph> {
+    region().graph()
+}
+
+/// Offers use a *small* detour budget so each write dirties a handful
+/// of clusters — keeping publishes on the incremental path (a generous
+/// budget can dirty more than half the region, where `publish_shard`'s
+/// heuristic rightly prefers a full rebuild).
+fn offer(i: u32, depart_s: f64) -> RideOffer {
+    let g = graph();
+    let n = g.node_count() as u32;
+    RideOffer::simple(
+        g.point(NodeId((i * 97) % n)),
+        g.point(NodeId((i * 181 + n / 2) % n)),
+        depart_s,
+        3,
+        700.0,
+    )
+}
+
+fn request(i: u32) -> RideRequest {
+    let g = graph();
+    let n = g.node_count() as u32;
+    RideRequest {
+        source: g.point(NodeId((i * 53) % n)),
+        destination: g.point(NodeId((i * 131 + n / 3) % n)),
+        window_start_s: 7.5 * 3600.0,
+        window_end_s: 10.0 * 3600.0,
+        walk_limit_m: 900.0,
+    }
+}
+
+/// Render a match byte-comparably. Twin engines shard identically, so
+/// ride ids line up and belong in the comparison.
+fn render(ms: &[RideMatch]) -> Vec<String> {
+    ms.iter()
+        .map(|m| {
+            format!(
+                "r{} p{}.{} d{}.{} w{:.6}/{:.6} t{:.6}/{:.6} det{:.6} s{}/{}",
+                m.ride.0,
+                m.pickup_cluster.0,
+                m.pickup_landmark.0,
+                m.dropoff_cluster.0,
+                m.dropoff_landmark.0,
+                m.walk_pickup_m,
+                m.walk_dropoff_m,
+                m.eta_pickup_s,
+                m.eta_dropoff_s,
+                m.detour_est_m,
+                m.pickup_seg,
+                m.dropoff_seg
+            )
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u32),
+    Search(u32),
+    BookBest(u32),
+    Track(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..10_000).prop_map(Op::Create),
+        3 => (0u32..10_000).prop_map(Op::Search),
+        2 => (0u32..10_000).prop_map(Op::BookBest),
+        1 => (480u16..660).prop_map(Op::Track),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_equals_full_rebuild_on_any_schedule(
+        ops in proptest::collection::vec(op_strategy(), 12..50),
+    ) {
+        let inc = ShardedXarEngine::new(Arc::clone(region()), EngineConfig::default(), 4);
+        let full = ShardedXarEngine::new(Arc::clone(region()), EngineConfig::default(), 4);
+        full.set_full_publish(true);
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Create(seed) => {
+                    let depart = 8.0 * 3600.0 + f64::from(seed % 40) * 45.0;
+                    let o = offer(*seed, depart);
+                    let a = inc.create_ride(&o);
+                    let b = full.create_ride(&o);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "create divergence at step {}", step);
+                    if let (Ok(a), Ok(b)) = (a, b) {
+                        prop_assert_eq!(a, b, "twin engines must assign identical ids");
+                    }
+                }
+                Op::Search(seed) => {
+                    let req = request(*seed);
+                    let a = inc.search(&req, usize::MAX);
+                    let b = full.search(&req, usize::MAX);
+                    prop_assert_eq!(a.is_err(), b.is_err(), "search errs at step {}", step);
+                    let (Ok(a), Ok(b)) = (a, b) else { continue };
+                    prop_assert_eq!(
+                        render(&a),
+                        render(&b),
+                        "patched snapshot diverged from full rebuild at step {}",
+                        step
+                    );
+                }
+                Op::BookBest(seed) => {
+                    let req = request(*seed);
+                    let (Ok(a), Ok(b)) = (inc.search(&req, usize::MAX), full.search(&req, usize::MAX))
+                    else { continue };
+                    prop_assert_eq!(render(&a), render(&b), "pre-book sets at step {}", step);
+                    let Some(ma) = a.first() else { continue };
+                    let mb = &b[0];
+                    let ra = inc.book(ma);
+                    let rb = full.book(mb);
+                    prop_assert_eq!(ra.is_ok(), rb.is_ok(), "book divergence at step {}", step);
+                    if let (Ok(ra), Ok(rb)) = (ra, rb) {
+                        prop_assert!((ra.actual_detour_m - rb.actual_detour_m).abs() < 1e-9);
+                    }
+                }
+                Op::Track(minutes) => {
+                    let now = f64::from(*minutes) * 60.0;
+                    prop_assert_eq!(
+                        inc.track_all(now),
+                        full.track_all(now),
+                        "expiry divergence at step {}",
+                        step
+                    );
+                }
+            }
+        }
+
+        // Closing sweep: the patched snapshots byte-agree with fresh
+        // full builds of the final state, on both engines, and a last
+        // round of searches still matches.
+        prop_assert!(inc.snapshots_consistent(), "incremental snapshots drifted from state");
+        prop_assert!(full.snapshots_consistent(), "full-rebuild snapshots drifted from state");
+        prop_assert_eq!(inc.ride_count(), full.ride_count());
+        for seed in [11u32, 222, 3_333, 4_444] {
+            let req = request(seed);
+            let (Ok(a), Ok(b)) = (inc.search(&req, usize::MAX), full.search(&req, usize::MAX))
+            else { continue };
+            prop_assert_eq!(render(&a), render(&b), "final sweep diverged for seed {}", seed);
+        }
+    }
+}
+
+/// Deterministic companion to the property above: on the small-budget
+/// workload the incremental engine must actually exercise the patching
+/// path (the property holds vacuously if the heuristic always falls
+/// back to full rebuilds).
+#[test]
+fn equivalence_run_takes_the_incremental_path() {
+    let inc = ShardedXarEngine::new(Arc::clone(region()), EngineConfig::default(), 4);
+    let full = ShardedXarEngine::new(Arc::clone(region()), EngineConfig::default(), 4);
+    full.set_full_publish(true);
+    for i in 0..40u32 {
+        let depart = 8.0 * 3600.0 + f64::from(i % 40) * 45.0;
+        let o = offer(i, depart);
+        assert_eq!(inc.create_ride(&o).is_ok(), full.create_ride(&o).is_ok());
+    }
+    for i in 0..20u32 {
+        let req = request(i * 7 + 3);
+        let (Ok(a), Ok(b)) = (inc.search(&req, usize::MAX), full.search(&req, usize::MAX))
+        else { continue };
+        assert_eq!(render(&a), render(&b), "request {i} diverged");
+        if let Some(m) = a.first() {
+            assert_eq!(inc.book(m).is_ok(), full.book(&b[0]).is_ok());
+        }
+    }
+    let partials = inc.metrics().snapshot_partial_publishes.get();
+    assert!(partials > 0, "small-budget writes never took the incremental path");
+    assert_eq!(
+        full.metrics().snapshot_partial_publishes.get(),
+        0,
+        "forced-full twin must never patch"
+    );
+    assert!(inc.snapshots_consistent());
+}
+
+/// ROADMAP item 5, memory half: expired rides are retired *and
+/// compacted out of the published snapshots*, so a long expiry-churn
+/// run holds runtime memory flat. Each cycle creates a batch of rides,
+/// books a few, then advances the clock far enough to complete the
+/// previous batch; by mid-run the engine reaches a steady state whose
+/// `heap_bytes()` later cycles must not exceed.
+#[test]
+fn heap_stays_bounded_under_expiry_churn() {
+    const CYCLES: u32 = 30;
+    const BATCH: u32 = 24;
+    const WARMUP: u32 = 8;
+    let eng = ShardedXarEngine::new(Arc::clone(region()), EngineConfig::default(), 4);
+    let m = eng.metrics();
+    let mut high_water = 0usize;
+    for cycle in 0..CYCLES {
+        let base_s = 8.0 * 3600.0 + f64::from(cycle) * 900.0;
+        for i in 0..BATCH {
+            let _ = eng.create_ride(&offer(cycle * BATCH + i, base_s + f64::from(i) * 10.0));
+        }
+        for i in 0..6u32 {
+            if let Ok(ms) = eng.search(&request(cycle * 31 + i), 4) {
+                if let Some(mm) = ms.first() {
+                    let _ = eng.book(mm);
+                }
+            }
+        }
+        // Everything departing before this cycle has long arrived:
+        // track retires it and the next publish compacts it away.
+        eng.track_all(base_s + 900.0 * 2.0);
+
+        let heap = eng.heap_bytes();
+        if cycle < WARMUP {
+            high_water = high_water.max(heap);
+        } else {
+            assert!(
+                heap <= high_water * 3 / 2,
+                "cycle {cycle}: heap {heap} B exceeded 1.5x the warm-up high water \
+                 {high_water} B — retired rides are accreting"
+            );
+        }
+        let live = eng.ride_count();
+        assert!(
+            live <= 3 * BATCH as usize,
+            "cycle {cycle}: {live} live rides — expiry is not retiring"
+        );
+    }
+    assert!(
+        m.snapshot_compacted_rides.get() > 0,
+        "churn run never compacted a retired ride out of a snapshot"
+    );
+    assert!(eng.snapshots_consistent());
+}

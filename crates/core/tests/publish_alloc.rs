@@ -1,0 +1,174 @@
+//! Allocation guard for incremental snapshot publication.
+//!
+//! DESIGN.md §5f's cost claim, made a hard test: publishing after a
+//! booking that dirtied `k` cluster segments performs **O(k)**
+//! allocations — one short `Vec` clone of the segment pointer table
+//! plus the `k` rebuilt segments — not O(clusters) as the full rebuild
+//! does. A counting global allocator (same idiom as
+//! `tests/snapshot_alloc.rs`; one `#[global_allocator]` per test
+//! binary, hence this file) measures the allocation *count* of
+//! `book_checked` (splice + publish) under three regimes:
+//!
+//! 1. incremental publish on a small region,
+//! 2. incremental publish on a region with ~4x the clusters,
+//! 3. forced full rebuild on both.
+//!
+//! Incremental counts must stay flat across the region-size jump while
+//! the full-rebuild counts climb with it — the contrast that proves
+//! the write path now scales with the touched clusters, not the shard.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use xar_core::{EngineConfig, RideOffer, RideRequest, ShardedXarEngine};
+use xar_discretize::{ClusterGoal, RegionConfig, RegionIndex};
+use xar_roadnet::{sample_pois, CityConfig, NodeId, PoiConfig, RoadGraph};
+
+thread_local! {
+    /// Per-thread allocation count (the libtest harness's main thread
+    /// allocates concurrently; a process-global count would be flaky).
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+struct CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+fn region(side: usize, seed: u64) -> Arc<RegionIndex> {
+    let graph = Arc::new(CityConfig::manhattan(side, side, seed).generate());
+    let pois = sample_pois(&graph, &PoiConfig { count: side * side / 2, ..Default::default() });
+    Arc::new(RegionIndex::build(
+        graph,
+        &pois,
+        RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+    ))
+}
+
+/// Small detour budgets keep each write's dirty set to a handful of
+/// clusters, so the incremental path is what gets measured.
+fn offer(g: &RoadGraph, i: u32) -> RideOffer {
+    let n = g.node_count() as u32;
+    RideOffer::simple(
+        g.point(NodeId((i * 97) % n)),
+        g.point(NodeId((i * 181 + n / 2) % n)),
+        8.0 * 3600.0 + f64::from(i % 40) * 45.0,
+        4,
+        700.0,
+    )
+}
+
+fn request(g: &RoadGraph, i: u32) -> RideRequest {
+    let n = g.node_count() as u32;
+    RideRequest {
+        source: g.point(NodeId((i * 53) % n)),
+        destination: g.point(NodeId((i * 131 + n / 3) % n)),
+        window_start_s: 7.5 * 3600.0,
+        window_end_s: 10.0 * 3600.0,
+        walk_limit_m: 900.0,
+    }
+}
+
+/// One shard, `rides` offers: a booking dirties a few clusters of a
+/// shard holding *all* the region's entries — the regime where full
+/// rebuilds are maximally more expensive than patches.
+fn populated(region: &Arc<RegionIndex>, rides: u32) -> ShardedXarEngine {
+    let eng = ShardedXarEngine::new(Arc::clone(region), EngineConfig::default(), 1);
+    let g = region.graph();
+    for i in 0..rides {
+        let _ = eng.create_ride(&offer(g, i));
+    }
+    eng
+}
+
+/// Mean allocations of one successful `book_checked` (route splice +
+/// snapshot publish). Searches run *outside* the counting window — the
+/// read path has its own guard (`tests/snapshot_alloc.rs`).
+fn booking_allocs(eng: &ShardedXarEngine, bookings: u32, seed0: u32) -> f64 {
+    let mut counted = 0u64;
+    let mut done = 0u32;
+    let mut seed = seed0;
+    while done < bookings {
+        seed += 1;
+        assert!(seed < seed0 + 40_000, "ran out of bookable matches after {done} bookings");
+        let Ok(ms) = eng.search(&request(region_graph(eng), seed), 4) else { continue };
+        for m in &ms {
+            let before = thread_allocs();
+            let res = eng.book_checked(m);
+            let delta = thread_allocs() - before;
+            if res.is_ok() {
+                counted += delta;
+                done += 1;
+                break;
+            }
+        }
+    }
+    counted as f64 / f64::from(bookings)
+}
+
+fn region_graph(eng: &ShardedXarEngine) -> &RoadGraph {
+    eng.region().graph()
+}
+
+#[test]
+fn incremental_publish_allocates_o_dirty_not_o_clusters() {
+    const BOOKINGS: u32 = 12;
+    let small = region(14, 31);
+    let large = region(40, 31);
+    assert!(
+        large.cluster_count() >= small.cluster_count() * 3,
+        "fixture lost its contrast: {} vs {} clusters",
+        small.cluster_count(),
+        large.cluster_count()
+    );
+
+    // Population scales with the region so full rebuilds touch a
+    // proportional number of non-empty segments.
+    let eng_small = populated(&small, 220);
+    let eng_large = populated(&large, 1_400);
+
+    // Warm both engines (scratch vectors, hash maps, histograms).
+    let _ = booking_allocs(&eng_small, 2, 50_000);
+    let _ = booking_allocs(&eng_large, 2, 50_000);
+
+    let inc_small = booking_allocs(&eng_small, BOOKINGS, 0);
+    let inc_large = booking_allocs(&eng_large, BOOKINGS, 0);
+
+    eng_small.set_full_publish(true);
+    eng_large.set_full_publish(true);
+    let full_small = booking_allocs(&eng_small, BOOKINGS, 20_000);
+    let full_large = booking_allocs(&eng_large, BOOKINGS, 20_000);
+
+    let ctx = format!(
+        "allocs/booking: inc {inc_small:.1}->{inc_large:.1}, full {full_small:.1}->{full_large:.1} \
+         ({} -> {} clusters)",
+        small.cluster_count(),
+        large.cluster_count()
+    );
+    eprintln!("{ctx}");
+
+    // The patching path is strictly cheaper than a full rebuild where
+    // it matters (the big region)...
+    assert!(inc_large * 2.0 < full_large, "incremental not cheaper than full: {ctx}");
+    // ...its allocation count does not follow the cluster count...
+    assert!(inc_large < inc_small * 3.0, "incremental publish scaled with region size: {ctx}");
+    // ...while the full rebuild's demonstrably does (the contrast that
+    // keeps the first two assertions meaningful).
+    assert!(full_large > full_small * 2.0, "full rebuild lost its O(clusters) term: {ctx}");
+}

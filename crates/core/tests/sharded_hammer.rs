@@ -130,6 +130,109 @@ fn hammer_never_overbooks_and_loses_no_updates() {
     assert!(booked_ok.load(Ordering::Relaxed) > 0, "hammer must actually book");
 }
 
+/// 8 threads of create/book under concurrent expiry churn: ride
+/// accounting must conserve (creates − retirements = live rides) and
+/// the published snapshots must never serve an expired ride — once a
+/// `track_all(now)` has returned (retirement + republish complete), no
+/// later search may produce a match whose pickup ETA lies behind
+/// `now`. A shared watermark, advanced only *after* `track_all`
+/// returns, turns that into a per-match assertion; the slack absorbs
+/// entries inside a not-yet-crossed cluster (bounded by the cluster
+/// traversal time, far below the 600 s granularity of the churn).
+#[test]
+fn booking_storm_with_expiry_churn_conserves_rides() {
+    const THREADS: u32 = 8;
+    const ROUNDS: u32 = 50;
+    const SLACK_S: f64 = 300.0;
+    let eng = ShardedXarEngine::new(Arc::clone(region()), EngineConfig::default(), 4);
+    let created = AtomicU64::new(0);
+    let retired = AtomicU64::new(0);
+    let booked = AtomicU64::new(0);
+    // Highest time the engine is *known* tracked to (f64 seconds as
+    // bits; times are non-negative so the bit pattern orders like the
+    // float).
+    let watermark = AtomicU64::new(0f64.to_bits());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let eng = eng.clone();
+            let (created, retired, booked, watermark) = (&created, &retired, &booked, &watermark);
+            scope.spawn(move || {
+                for j in 0..ROUNDS {
+                    let seed = t * 10_000 + j;
+                    // Departures advance with the rounds AND stay ahead
+                    // of the current watermark: a thread lagging behind
+                    // the churn must not create a ride that departs in
+                    // the already-tracked past — such a ride is
+                    // legitimately live, yet its pickup ETAs would sit
+                    // behind the floor the assertion below checks. The
+                    // +900 s headroom exceeds one churn period (450 s),
+                    // so a create racing an in-flight `track_all` still
+                    // departs ahead of the watermark that scan installs.
+                    let floor_now = f64::from_bits(watermark.load(Ordering::Acquire));
+                    let depart = (8.0 * 3600.0 + f64::from(j) * 90.0)
+                        .max(floor_now + 900.0)
+                        + f64::from(t) * 7.0;
+                    let g = graph();
+                    let n = g.node_count() as u32;
+                    let o = RideOffer::simple(
+                        g.point(NodeId((seed * 97) % n)),
+                        g.point(NodeId((seed * 181 + n / 2) % n)),
+                        depart,
+                        2,
+                        3_500.0,
+                    );
+                    if eng.create_ride(&o).is_ok() {
+                        created.fetch_add(1, Ordering::Relaxed);
+                    }
+
+                    let floor = f64::from_bits(watermark.load(Ordering::Acquire));
+                    if let Ok(ms) = eng.search(&request(seed), 4) {
+                        for m in &ms {
+                            assert!(
+                                m.eta_pickup_s >= floor - SLACK_S,
+                                "expired ride served: pickup ETA {:.0} s behind the \
+                                 {floor:.0} s tracking watermark",
+                                m.eta_pickup_s,
+                            );
+                            if eng.book(m).is_ok() {
+                                booked.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+
+                    // One thread churns expiry; watermark moves only
+                    // after track_all has retired and republished.
+                    if t == 0 && j % 5 == 4 {
+                        let now = 8.0 * 3600.0 + f64::from(j) * 90.0;
+                        retired.fetch_add(eng.track_all(now) as u64, Ordering::Relaxed);
+                        watermark.fetch_max(now.to_bits(), Ordering::Release);
+                    }
+                }
+            });
+        }
+    });
+
+    // Conservation: every created ride is either still live or was
+    // retired by the churn — none lost, none duplicated.
+    let final_retired = retired.load(Ordering::Relaxed) + eng.track_all(12.0 * 3600.0) as u64;
+    let mut live = 0u64;
+    eng.for_each_ride(|_| live += 1);
+    assert_eq!(
+        created.load(Ordering::Relaxed),
+        final_retired + live,
+        "ride conservation broke: {} created, {} retired, {} live",
+        created.load(Ordering::Relaxed),
+        final_retired,
+        live
+    );
+    assert_eq!(live as usize, eng.ride_count());
+    assert!(booked.load(Ordering::Relaxed) > 0, "storm must actually book");
+    // The snapshots survived the storm coherent with shard state.
+    assert!(eng.snapshots_consistent(), "published snapshots drifted from shard state");
+}
+
 /// Strip engine-assigned ride ids so result sets from engines with
 /// different id sequences (serial: 1,2,3…; sharded: striped) compare
 /// structurally. `ride_ord` maps each engine's id to the creation-order

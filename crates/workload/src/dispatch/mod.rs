@@ -680,10 +680,44 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
     dm.swaps.add(outcome.swaps);
     report.swaps += outcome.swaps;
 
-    // Stage 3: commit in stream order. `dirty` tracks whether the
+    // Stage 3a: commit every valid `Book` assignment of the window in
+    // one batched call — the backend coalesces the write cost (the
+    // sharded engine takes one write lock and publishes one snapshot
+    // per *touched shard* instead of per booking). Within a shard the
+    // batch commits in stream order with per-item re-validation, so
+    // each booking sees exactly the state a sequential commit would
+    // have; results are consumed index-aligned by the stream-order
+    // loop below.
+    let picks: Vec<(usize, &B::Match)> = batch
+        .iter()
+        .enumerate()
+        .filter_map(|(i, _)| match outcome.assignments.get(i).copied() {
+            Some(Assignment::Book(c)) => all_matches[i].get(c).map(|m| (i, m)),
+            _ => None,
+        })
+        .collect();
+    let mut primary: Vec<Option<BookResult>> = vec![None; n];
+    let mut per_book_ns = 0u64;
+    if !picks.is_empty() {
+        let _phase = xar_obs::trace::span("sim.book");
+        let tb = Instant::now();
+        let refs: Vec<&B::Match> = picks.iter().map(|&(_, m)| m).collect();
+        let results = backend.book_checked_batch(&refs, cfg);
+        debug_assert_eq!(results.len(), picks.len());
+        // The lock is taken and the snapshot published once per shard:
+        // attribute the amortized cost evenly across the bookings.
+        per_book_ns = tb.elapsed().as_nanos() as u64 / picks.len().max(1) as u64;
+        for (&(i, _), res) in picks.iter().zip(results) {
+            primary[i] = Some(res);
+        }
+    }
+
+    // Stage 3b: consume in stream order. `dirty` tracks whether the
     // engine changed since the window's searches — once it has,
-    // unassigned requests re-search instead of creating blindly.
-    let mut dirty = false;
+    // unassigned requests re-search instead of creating blindly. The
+    // batched commits above already mutated the engine, so any
+    // successful primary booking dirties the whole window.
+    let mut dirty = primary.iter().flatten().any(|r| matches!(r, BookResult::Booked { .. }));
     for (i, (idx, trip)) in batch.iter().enumerate() {
         let assignment = outcome.assignments.get(i).copied().unwrap_or(Assignment::Create);
         let mut troot = xar_obs::trace::root("request");
@@ -710,11 +744,8 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
         let ejected =
             matches!(assignment, Assignment::Create) && !requests[i].candidates.is_empty();
         if let Assignment::Book(c) = assignment {
-            if let Some(m) = all_matches[i].get(c) {
-                let _phase = xar_obs::trace::span("sim.book");
-                let t0 = Instant::now();
-                let res = backend.book_checked(m, cfg);
-                let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(res) = primary[i] {
+                let ns = per_book_ns;
                 report.book_ns.push(ns);
                 pm.book_h.record(ns);
                 if matches!(res, BookResult::Booked { .. }) {
@@ -730,7 +761,6 @@ fn flush_window<B: RideBackend, P: DispatchPolicy + ?Sized>(
                         &mut ev,
                     );
                     booked = true;
-                    dirty = true;
                     troot.attr("outcome", "booked");
                 } else {
                     // The candidate went stale within the window.

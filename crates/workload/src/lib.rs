@@ -39,6 +39,7 @@ pub mod parallel;
 pub mod report;
 pub mod searchbench;
 pub mod sim;
+pub mod writebench;
 pub mod trips;
 
 pub use backend::{TShareBackend, XarBackend};
@@ -57,4 +58,5 @@ pub use searchbench::{
     populated_engine, run_search_point, search_curve_json, SearchPoint,
 };
 pub use sim::{run_simulation, run_simulation_with, BookResult, RideBackend, SimConfig};
+pub use writebench::{run_write_point, write_curve_json, WritePoint};
 pub use trips::{generate_trips, Trip, TripGenConfig};

@@ -62,6 +62,13 @@ pub trait ConcurrentBackend: Sync {
     fn book_checked(&self, m: &Self::Match, cfg: &SimConfig) -> BookResult {
         self.book(m, cfg)
     }
+    /// Commit a batch window's picked matches at once — see
+    /// [`RideBackend::book_checked_batch`]. Defaults to the sequential
+    /// loop; the sharded engine overrides it to publish once per
+    /// touched shard.
+    fn book_checked_batch(&self, ms: &[&Self::Match], cfg: &SimConfig) -> Vec<BookResult> {
+        ms.iter().map(|m| self.book_checked(m, cfg)).collect()
+    }
     /// Reduce a match to its assignment edge — see
     /// [`RideBackend::describe`].
     fn describe(_m: &Self::Match) -> Candidate {
@@ -106,6 +113,9 @@ impl<B: ConcurrentBackend> RideBackend for WorkerBackend<'_, B> {
     }
     fn book_checked(&mut self, m: &B::Match, cfg: &SimConfig) -> BookResult {
         self.inner.book_checked(m, cfg)
+    }
+    fn book_checked_batch(&mut self, ms: &[&B::Match], cfg: &SimConfig) -> Vec<BookResult> {
+        self.inner.book_checked_batch(ms, cfg)
     }
     fn describe(m: &B::Match) -> Candidate {
         B::describe(m)
@@ -174,6 +184,14 @@ impl ConcurrentBackend for ShardedXarBackend {
 
     fn book_checked(&self, m: &RideMatch, _cfg: &SimConfig) -> BookResult {
         crate::backend::book_result(self.engine.book_checked(m))
+    }
+
+    fn book_checked_batch(&self, ms: &[&RideMatch], _cfg: &SimConfig) -> Vec<BookResult> {
+        self.engine
+            .book_checked_batch(ms)
+            .into_iter()
+            .map(crate::backend::book_result)
+            .collect()
     }
 
     fn describe(m: &RideMatch) -> Candidate {

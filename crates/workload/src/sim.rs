@@ -88,6 +88,14 @@ pub trait RideBackend {
     fn book_checked(&mut self, m: &Self::Match, cfg: &SimConfig) -> BookResult {
         self.book(m, cfg)
     }
+    /// Commit a whole batch window's picked matches at once, results
+    /// index-aligned with `ms`. Backends with per-write publication
+    /// cost override this to coalesce it (one snapshot publish per
+    /// touched shard instead of per booking); the default is the
+    /// sequential loop, so semantics never differ.
+    fn book_checked_batch(&mut self, ms: &[&Self::Match], cfg: &SimConfig) -> Vec<BookResult> {
+        ms.iter().map(|m| self.book_checked(m, cfg)).collect()
+    }
     /// Reduce a match to the [`Candidate`] edge the assignment stage
     /// scores: target ride, score (lower better), estimated detour.
     /// The default is a zero edge, fine for backends never driven

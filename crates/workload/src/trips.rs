@@ -36,6 +36,11 @@ pub struct TripGenConfig {
     /// Minimum crow-flies trip length, metres (NYC taxi trips are not
     /// one-block hops).
     pub min_trip_m: f64,
+    /// Maximum crow-flies trip length, metres (`f64::INFINITY` = no
+    /// cap). A finite cap keeps trip lengths — and therefore ride
+    /// routes and their cluster fan-out — constant as the city grows,
+    /// which the write micro-bench's constant-density sweep relies on.
+    pub max_trip_m: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -49,6 +54,7 @@ impl Default for TripGenConfig {
             hotspot_fraction: 0.6,
             hotspot_scatter_m: 300.0,
             min_trip_m: 800.0,
+            max_trip_m: f64::INFINITY,
             seed: 0x7A11,
         }
     }
@@ -111,12 +117,27 @@ pub fn generate_trips(graph: &RoadGraph, cfg: &TripGenConfig) -> Vec<Trip> {
         }
     };
 
+    assert!(
+        cfg.max_trip_m > cfg.min_trip_m,
+        "max_trip_m ({}) must exceed min_trip_m ({})",
+        cfg.max_trip_m,
+        cfg.min_trip_m
+    );
     let mut trips = Vec::with_capacity(cfg.count);
     let mut id = 0u64;
+    let mut attempts = 0usize;
     while trips.len() < cfg.count {
+        attempts += 1;
+        assert!(
+            attempts <= cfg.count.saturating_mul(10_000),
+            "trip length band [{}, {}] m rejects virtually every sampled pair on this network",
+            cfg.min_trip_m,
+            cfg.max_trip_m
+        );
         let pickup = pick_endpoint(&mut rng);
         let dropoff = pick_endpoint(&mut rng);
-        if pickup.haversine_m(&dropoff) < cfg.min_trip_m {
+        let len_m = pickup.haversine_m(&dropoff);
+        if len_m < cfg.min_trip_m || len_m > cfg.max_trip_m {
             continue;
         }
         trips.push(Trip { id, pickup_s: sample_time_s(&mut rng), pickup, dropoff });
@@ -149,6 +170,20 @@ mod tests {
         assert_eq!(trips.len(), 2_000);
         for w in trips.windows(2) {
             assert!(w[0].pickup_s <= w[1].pickup_s);
+        }
+    }
+
+    #[test]
+    fn trip_length_band_is_respected() {
+        let g = graph();
+        let trips = generate_trips(
+            &g,
+            &TripGenConfig { count: 300, min_trip_m: 600.0, max_trip_m: 1_500.0, ..Default::default() },
+        );
+        assert_eq!(trips.len(), 300);
+        for t in &trips {
+            let d = t.pickup.haversine_m(&t.dropoff);
+            assert!((600.0..=1_500.0).contains(&d), "trip length {d} m outside band");
         }
     }
 

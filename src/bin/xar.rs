@@ -141,13 +141,13 @@ use xhare_a_ride::tshare::{TShareConfig, TShareEngine};
 use xhare_a_ride::workload::searchbench::request_of;
 use xhare_a_ride::workload::{
     generate_trips, percentile_ns, populated_engine, run_parallel_dispatch, run_scaling_point,
-    run_search_point, run_simulation, run_simulation_with, scaling_curve_json, search_curve_json,
-    DispatchSpec, ScalingPoint, SearchPoint, ShardedXarBackend, SimConfig, TShareBackend,
-    TripGenConfig, XarBackend,
+    run_search_point, run_simulation, run_simulation_with, run_write_point, scaling_curve_json,
+    search_curve_json, write_curve_json, DispatchSpec, ScalingPoint, SearchPoint,
+    ShardedXarBackend, SimConfig, TShareBackend, TripGenConfig, WritePoint, XarBackend,
 };
 
 /// Flags that take no value (presence alone means `true`).
-const SWITCHES: &[&str] = &["check", "slo-fail", "plain", "search", "alloc"];
+const SWITCHES: &[&str] = &["check", "slo-fail", "plain", "search", "write", "alloc"];
 
 /// Global allocator: the profiling pass-through. When `xar profile
 /// --alloc` is off (the default, and every other subcommand) the hook
@@ -234,7 +234,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--dispatch first|batch:MS] [--compress-day-s F] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--events-out FILE] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE] [--against FILE] [--tolerance F]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE] [--against FILE] [--tolerance F]\n  xar logs --in FILE [--outcome X] [--reason Y] [--slower-than MS] [--request ID] [--top N]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
+    "usage:\n  xar build-region [--rows N] [--cols N] [--seed S] [--delta M | --clusters C] --out FILE\n  xar inspect --region FILE\n  xar simulate --region FILE [--trips N] [--seed S] [--k N] [--walk M] [--window S] [--detour M] [--threads N] [--shards N] [--dispatch first|batch:MS] [--compress-day-s F] [--json FILE] [--metrics-out FILE] [--trace-out FILE] [--trace-slow-ms F] [--trace-sample P] [--trace-buffer N] [--events-out FILE] [--baseline tshare] [--serve ADDR] [--slo RULE]... [--slo-fail] [--tick-ms N] [--linger-s F] [--max-backlog N] [--publish-coalesce-us US]\n  xar bench [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--min-scaling F] [--json FILE] [--against FILE] [--tolerance F]\n  xar bench --search [--rows N] [--cols N] [--seed S] [--trips N] [--shards N] [--threads LIST] [--searches N] [--max-p50-us F] [--max-p99-ratio F] [--json FILE] [--against FILE] [--tolerance F]\n  xar bench --write [--rows N] [--cols N] [--seed S] [--trips N] [--storm N] [--shards N] [--json FILE] [--against FILE] [--tolerance F]\n  xar logs --in FILE [--outcome X] [--reason Y] [--slower-than MS] [--request ID] [--top N]\n  xar trace --in FILE [--top N] [--check]\n  xar top --connect ADDR [--interval-ms N] [--frames N] [--plain]\n  xar profile --out FILE [--format collapsed|speedscope] [--alloc] [--rows N] [--cols N] [--seed S] [--trips N] [--top N]"
 }
 
 fn build_region(flags: &Flags) -> Result<(), String> {
@@ -384,6 +384,25 @@ fn parse_shards_flag(flags: &Flags) -> Result<usize, CmdError> {
     }
 }
 
+/// Parse `--publish-coalesce-us` (default 0 = a publish on every
+/// write, i.e. read-your-writes). Positive values let first-match
+/// bookings batch their snapshot publications into one per window.
+/// Invalid values share the exit-code-9 contract.
+fn parse_publish_coalesce_flag(flags: &Flags) -> Result<u64, CmdError> {
+    match flags.get_opt("publish-coalesce-us") {
+        None => Ok(0),
+        Some(v) => v.parse::<u64>().map_err(|_| {
+            CmdError::coded(
+                9,
+                format!(
+                    "--publish-coalesce-us must be a non-negative integer of \
+                     microseconds, got '{v}'"
+                ),
+            )
+        }),
+    }
+}
+
 /// Parse `--tolerance` (fractional headroom for `--against`, default
 /// 0.5 = 50%); invalid values share the exit-code-9 contract.
 fn parse_tolerance_flag(flags: &Flags) -> Result<f64, CmdError> {
@@ -402,7 +421,11 @@ fn parse_tolerance_flag(flags: &Flags) -> Result<f64, CmdError> {
 /// `--against` regression gate: compare a freshly measured bench curve
 /// point-by-point against a committed baseline of the same kind.
 ///
-/// `fresh` holds `(threads, [(metric key, value)])` per fresh point;
+/// Points are joined on `point_key` — a workload-independent integer
+/// field (`"threads"` for the scaling/search curves, `"mult"` for the
+/// write curve), so a small CI smoke city still shares points with a
+/// baseline measured on the full bench city. `fresh` holds
+/// `(point key value, [(metric key, value)])` per fresh point;
 /// `metrics` lists `(key, higher_is_worse)`. The tolerance is a ratio
 /// headroom symmetric in direction: latency (higher-is-worse) may grow
 /// to `base × (1 + tol)`, throughput may shrink to `base ÷ (1 + tol)` —
@@ -415,6 +438,7 @@ fn parse_tolerance_flag(flags: &Flags) -> Result<f64, CmdError> {
 fn gate_against_baseline(
     path: &str,
     kind: &str,
+    point_key: &str,
     tolerance: f64,
     fresh: &[(u64, Vec<(&'static str, f64)>)],
     metrics: &[(&'static str, bool)],
@@ -438,9 +462,11 @@ fn gate_against_baseline(
     let mut compared = 0usize;
     let mut breaches: Vec<String> = Vec::new();
     for bp in base_points {
-        let Some(threads) = bp.get("threads").and_then(|t| t.as_u64()) else { continue };
-        let Some((_, values)) = fresh.iter().find(|(t, _)| *t == threads) else {
-            println!("against        : baseline point threads={threads} has no fresh match, skipped");
+        let Some(at) = bp.get(point_key).and_then(|t| t.as_u64()) else { continue };
+        let Some((_, values)) = fresh.iter().find(|(t, _)| *t == at) else {
+            println!(
+                "against        : baseline point {point_key}={at} has no fresh match, skipped"
+            );
             continue;
         };
         for &(key, higher_is_worse) in metrics {
@@ -456,13 +482,13 @@ fn gate_against_baseline(
                 (base / (1.0 + tolerance), new < base / (1.0 + tolerance), "min")
             };
             println!(
-                "against        : threads={threads} {key} {new:.0} vs baseline {base:.0} \
+                "against        : {point_key}={at} {key} {new:.0} vs baseline {base:.0} \
                  ({dir} {bound:.0}){}",
                 if breached { "  REGRESSION" } else { "" },
             );
             if breached {
                 breaches.push(format!(
-                    "threads={threads} {key} {new:.0} breaches {dir} {bound:.0} \
+                    "{point_key}={at} {key} {new:.0} breaches {dir} {bound:.0} \
                      (baseline {base:.0}, tolerance {tolerance})"
                 ));
             }
@@ -499,6 +525,7 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
     let shards = parse_shards_flag(flags)?;
     let dispatch = parse_dispatch_flag(flags)?;
     let compress = parse_compress_flag(flags)?;
+    let publish_coalesce_us = parse_publish_coalesce_flag(flags)?;
     let path = flags.require("region")?;
     let trips_n: usize = flags.get("trips", 10_000)?;
     let seed: u64 = flags.get("seed", 0x7A11)?;
@@ -559,6 +586,22 @@ fn simulate(flags: &Flags) -> Result<(), CmdError> {
             shards,
         )))
     };
+    if publish_coalesce_us > 0 {
+        match &sim {
+            SimUnderTest::Parallel(b) => {
+                b.engine.set_publish_coalesce_us(publish_coalesce_us);
+                eprintln!("publish window : coalescing first-match publishes over {publish_coalesce_us} µs");
+            }
+            // The serial engine has no snapshot plane — nothing to
+            // coalesce, but say so instead of silently ignoring it.
+            SimUnderTest::Serial(_) => {
+                eprintln!(
+                    "publish window : --publish-coalesce-us ignored on the serial driver \
+                     (use --threads > 1)"
+                );
+            }
+        }
+    }
     let cfg = SimConfig { walk_limit_m: walk, window_s: window, detour_limit_m: detour, k, ..Default::default() };
 
     // Live operational plane: windowed series + SLO rules + optionally
@@ -805,6 +848,9 @@ fn bench(flags: &Flags) -> Result<(), CmdError> {
     if flags.switch("search") {
         return bench_search(flags);
     }
+    if flags.switch("write") {
+        return bench_write(flags);
+    }
     let thread_counts = parse_threads_list(flags)?;
     let shards = parse_shards_flag(flags)?;
     let rows: usize = flags.get("rows", 30)?;
@@ -907,6 +953,7 @@ fn bench(flags: &Flags) -> Result<(), CmdError> {
         gate_against_baseline(
             base,
             "engine_scaling",
+            "threads",
             tol,
             &fresh,
             &[("requests_per_s", false), ("search_p50_ns", true), ("search_p99_ns", true)],
@@ -1037,9 +1084,159 @@ fn bench_search(flags: &Flags) -> Result<(), CmdError> {
         gate_against_baseline(
             base,
             "search_microbench",
+            "threads",
             tol,
             &fresh,
             &[("search_p50_ns", true), ("search_p99_ns", true)],
+        )?;
+    }
+    Ok(())
+}
+
+/// `xar bench --write`: the write-path micro-bench. For each
+/// population multiplier a fresh sharded engine is filled with pure
+/// ride creates, then a fixed booking storm measures end-to-end
+/// `book_checked` latency and snapshot publish cost, replayed twice —
+/// incremental publication vs forced full rebuilds (DESIGN.md §5f).
+/// The sweep holds ride density constant (city side ∝ √mult): the
+/// shard grows 8× while the detour-bounded dirty set stays fixed, so
+/// incremental publish cost should stay flat-ish as full rebuilds
+/// climb.
+/// `--against` joins the committed `results/BENCH_write.json` baseline
+/// on the workload-independent `mult` field (same contract as the
+/// other bench gates: exit 2 bad baseline, exit 7 regression).
+fn bench_write(flags: &Flags) -> Result<(), CmdError> {
+    const POP_MULTS: [usize; 4] = [1, 2, 4, 8];
+    const MAX_MULT: usize = 8;
+    let shards = parse_shards_flag(flags)?;
+    let rows: usize = flags.get("rows", 30)?;
+    let cols: usize = flags.get("cols", 30)?;
+    let seed: u64 = flags.get("seed", 0xBE7C)?;
+    // The write path is the subject: a bad workload size is a bad
+    // invocation, same exit-9 contract as the other flags.
+    let trips_n: usize = match flags.get_opt("trips") {
+        None => 2_000,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 16 => n,
+            _ => {
+                return Err(CmdError::coded(
+                    9,
+                    format!("--trips must be an integer >= 16 for the write bench, got '{v}'"),
+                ))
+            }
+        },
+    };
+    let storm_n: usize = flags.get("storm", 500)?;
+
+    eprintln!(
+        "write bench base city: {rows}x{cols} (seed {seed}), {trips_n} trips, {shards} shards, \
+         storm {storm_n} — side scales with sqrt(mult), constant ride density"
+    );
+    // Tight detour budgets keep each booking's dirty set small relative
+    // to the region — the regime incremental publication exists for
+    // (matches `bench_write`'s standalone harness).
+    let cfg = SimConfig { detour_limit_m: 1_200.0, ..SimConfig::default() };
+    let engine_cfg = EngineConfig::default();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points: Vec<WritePoint> = Vec::new();
+    println!(
+        "{:>5} {:>8} {:>9} {:>9} {:>12} {:>12} {:>14} {:>14} {:>8}",
+        "mult", "rides", "clusters", "bookings", "book p50 µs", "pub p50 µs", "full pub p50",
+        "dirty/pub", "partial"
+    );
+    for m in POP_MULTS {
+        // Constant-density sweep: the city area grows with the
+        // population, so rides-per-cluster is fixed and incremental
+        // publish cost — bounded by the detour-budget dirty set — has
+        // no reason to grow with the shard.
+        let side_scale = (m as f64).sqrt();
+        let (r, c) =
+            ((rows as f64 * side_scale).round() as usize, (cols as f64 * side_scale).round() as usize);
+        let graph = Arc::new(CityConfig::manhattan(r, c, seed).generate());
+        let pois = sample_pois(&graph, &PoiConfig { count: r * c / 2, ..Default::default() });
+        let region = Arc::new(RegionIndex::build(
+            Arc::clone(&graph),
+            &pois,
+            RegionConfig { cluster_goal: ClusterGoal::Delta(200.0), ..Default::default() },
+        ));
+        // The trip-length cap is the other half of constant density:
+        // trips stay metropolitan-local as the map grows, so ride
+        // routes — and the dirty set a booking re-indexes — do not
+        // stretch with the city.
+        let trips = generate_trips(
+            &graph,
+            &TripGenConfig { count: trips_n, seed, max_trip_m: 2_500.0, ..Default::default() },
+        );
+
+        // Trips are time-sorted: populations and the storm are strided
+        // subsets so every one spans the whole day and the storm's
+        // request windows overlap live rides.
+        let evens: Vec<_> = trips.iter().step_by(2).copied().collect();
+        let odds: Vec<_> = trips.iter().skip(1).step_by(2).copied().collect();
+        let storm_len = storm_n.clamp(1, odds.len());
+        let storm: Vec<_> =
+            odds.iter().step_by((odds.len() / storm_len).max(1)).copied().collect();
+        let populate: Vec<_> = evens.iter().step_by(MAX_MULT / m).copied().collect();
+
+        let p = run_write_point(&region, &engine_cfg, &populate, &storm, &cfg, shards, m);
+        println!(
+            "{:>5} {:>8} {:>9} {:>9} {:>12.1} {:>12.1} {:>14.1} {:>14.1} {:>8}",
+            p.mult,
+            p.rides,
+            p.clusters,
+            p.bookings,
+            p.book_p50_ns / 1e3,
+            p.publish_p50_ns / 1e3,
+            p.full_publish_p50_ns / 1e3,
+            p.dirty_clusters_mean,
+            p.partial_publishes,
+        );
+        points.push(p);
+    }
+
+    if let Some(json) = flags.get_opt("json") {
+        let meta = [
+            ("base_rows", rows as f64),
+            ("base_cols", cols as f64),
+            ("seed", seed as f64),
+            ("trips", trips_n as f64),
+            ("storm", storm_n as f64),
+            ("shards", shards as f64),
+        ];
+        std::fs::write(json, write_curve_json(&meta, cores, &points))
+            .map_err(|e| format!("cannot write {json}: {e}"))?;
+        println!("curve          : {json} (cores {cores})");
+    }
+
+    if let Some(base) = flags.get_opt("against") {
+        let tol = parse_tolerance_flag(flags)?;
+        let fresh: Vec<(u64, Vec<(&'static str, f64)>)> = points
+            .iter()
+            .map(|p| {
+                (
+                    p.mult as u64,
+                    vec![
+                        ("book_p50_ns", p.book_p50_ns),
+                        ("book_p99_ns", p.book_p99_ns),
+                        ("publish_p50_ns", p.publish_p50_ns),
+                        ("publish_p99_ns", p.publish_p99_ns),
+                    ],
+                )
+            })
+            .collect();
+        gate_against_baseline(
+            base,
+            "write_microbench",
+            "mult",
+            tol,
+            &fresh,
+            &[
+                ("book_p50_ns", true),
+                ("book_p99_ns", true),
+                ("publish_p50_ns", true),
+                ("publish_p99_ns", true),
+            ],
         )?;
     }
     Ok(())

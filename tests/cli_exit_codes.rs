@@ -5,6 +5,7 @@
 //! missing the drop counter, 7 = `bench` capacity/scaling/`--against`
 //! gate, 8 = `--slo-fail` with a fired SLO, 9 = invalid `--threads` /
 //! `--shards` / `--dispatch` / `--compress-day-s` / `--tolerance` /
+//! `--publish-coalesce-us` / `bench --write` workload /
 //! `xar logs` filter value, 10 = `--max-backlog` snapshot
 //! retire-backlog gate. `xar logs` reuses 2 (unreadable / invalid
 //! events file) and 3 (no events, or none matching the filters). The
@@ -374,6 +375,102 @@ fn logs_answers_why_for_every_unserved_request_of_a_real_run() {
     assert_eq!(code(&out), 0, "{out:?}");
     let record = String::from_utf8_lossy(&out.stdout);
     assert!(record.contains("req 0"), "{record}");
+}
+
+#[test]
+fn write_bench_and_publish_coalesce_flags_validate_with_exit_9() {
+    // Invalid values fail fast, before any region or workload is
+    // built, each naming the offending flag.
+    for args in [
+        &["simulate", "--publish-coalesce-us", "nope"][..],
+        &["simulate", "--publish-coalesce-us", "-5"][..],
+        &["simulate", "--publish-coalesce-us", "1.5"][..],
+        &["bench", "--write", "--trips", "nope"][..],
+        &["bench", "--write", "--trips", "4"][..],
+        &["bench", "--write", "--shards", "0"][..],
+    ] {
+        let out = xar(args);
+        assert_eq!(code(&out), 9, "{args:?} -> {out:?}");
+        let msg = String::from_utf8_lossy(&out.stderr);
+        let flag = args.iter().find(|a| a.starts_with("--") && *a != &"--write").unwrap();
+        assert!(msg.contains(flag.trim_start_matches('-')), "{args:?}: {msg}");
+    }
+
+    // A valid coalescing window is accepted end-to-end on the parallel
+    // driver (the knob's home; the run must still exit 0).
+    let dir = scratch("publish_coalesce");
+    let region = dir.join("region.xarr");
+    let out = xar(&[
+        "build-region", "--rows", "10", "--cols", "10", "--seed", "7", "--out",
+        region.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let out = xar(&[
+        "simulate", "--region", region.to_str().unwrap(), "--trips", "120", "--threads", "2",
+        "--shards", "2", "--publish-coalesce-us", "500",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn write_bench_against_gate_exit_codes() {
+    let dir = scratch("write_bench_against");
+
+    // 2: missing baseline.
+    let out = xar(&[
+        "bench", "--write", "--rows", "10", "--cols", "10", "--trips", "64",
+        "--against", dir.join("missing.json").to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // 9: invalid tolerance is rejected before the baseline is read.
+    let out = xar(&[
+        "bench", "--write", "--rows", "10", "--cols", "10", "--trips", "64",
+        "--against", dir.join("missing.json").to_str().unwrap(), "--tolerance", "nope",
+    ]);
+    assert_eq!(code(&out), 9, "{out:?}");
+
+    // 2: a baseline of the wrong bench kind (points join on `mult`,
+    // but the kind check fires first).
+    let wrong_kind = dir.join("wrong_kind.json");
+    write(
+        &wrong_kind,
+        r#"{"bench":"engine_scaling","points":[{"threads":1,"search_p50_ns":1}]}"#,
+    );
+    let out = xar(&[
+        "bench", "--write", "--rows", "10", "--cols", "10", "--trips", "64",
+        "--against", wrong_kind.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2, "{out:?}");
+
+    // Self-comparison passes (exit 0) — the curve written by --json is
+    // a valid baseline for the identical run.
+    let json = dir.join("self.json");
+    let out = xar(&[
+        "bench", "--write", "--rows", "10", "--cols", "10", "--trips", "64",
+        "--json", json.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let out = xar(&[
+        "bench", "--write", "--rows", "10", "--cols", "10", "--trips", "64",
+        "--against", json.to_str().unwrap(), "--tolerance", "10",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+
+    // 7: an impossible baseline (publish must beat a fraction of a
+    // nanosecond) trips the regression gate.
+    let impossible = dir.join("impossible.json");
+    write(
+        &impossible,
+        r#"{"bench":"write_microbench","points":[{"mult":1,"book_p50_ns":0.001,"book_p99_ns":0.001,"publish_p50_ns":0.001,"publish_p99_ns":0.001}]}"#,
+    );
+    let out = xar(&[
+        "bench", "--write", "--rows", "10", "--cols", "10", "--trips", "64",
+        "--against", impossible.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 7, "{out:?}");
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("regression"), "{msg}");
 }
 
 #[test]
